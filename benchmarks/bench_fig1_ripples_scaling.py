@@ -1,0 +1,39 @@
+"""Figure 1 — Ripples strong scaling saturates early (LT before IC).
+
+Regenerates the motivation figure: Ripples' speedup-over-1-thread for the
+LT and IC models on the web-Google replica.  Shape assertions: scaling
+saturates well below the 128-core machine and the LT model saturates no
+later than IC (the paper observes ~4 threads for LT vs ~32 for IC).
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_fig1, get_profiles
+from repro.simmachine.cost import CostModel
+from repro.simmachine.topology import perlmutter
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return experiment_fig1("google")
+
+
+def test_fig1_ripples_saturation(benchmark, fig1):
+    cm = CostModel(perlmutter())
+    prof = get_profiles("google", "IC")["Ripples"]
+    benchmark(lambda: cm.total_time_s(prof, 32))
+
+    print_table(fig1)
+    curves = fig1.data
+    for model in ("IC", "LT"):
+        sat = curves[model].saturation_threads()
+        assert sat <= 64, (model, sat)  # saturates below the machine size
+    # LT's tiny-set workload stops scaling no later than IC's.
+    assert curves["LT"].saturation_threads() <= curves["IC"].saturation_threads()
+    # Speedup at 128 threads is far below ideal for both models.
+    for model in ("IC", "LT"):
+        c = curves[model]
+        s128 = c.times_s[0] / c.times_s[-1]
+        assert s128 < 40.0, (model, s128)

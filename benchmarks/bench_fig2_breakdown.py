@@ -1,0 +1,47 @@
+"""Figure 2 — Ripples runtime breakdown on web-Google (IC and LT).
+
+Regenerates the kernel-share bars: Generate_RRRsets and
+Find_Most_Influential_Set dominate at every core count, and the selection
+kernel's share *grows* with cores — the scalability killer the paper
+identifies.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_fig2, get_profiles
+from repro.simmachine.cost import CostModel
+from repro.simmachine.topology import perlmutter
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return experiment_fig2("google")
+
+
+def test_fig2_breakdown(benchmark, fig2):
+    cm = CostModel(perlmutter())
+    prof = get_profiles("google", "IC")["Ripples"]
+    benchmark(lambda: [cm.total_time_s(prof, p) for p in (1, 16, 128)])
+
+    print_table(fig2)
+    data = fig2.data
+    for model in ("IC", "LT"):
+        # The two key kernels dominate everywhere (>= 80% of runtime).
+        for p in (1, 4, 16, 64, 128):
+            st = data[(model, p)]
+            dominant = (
+                st["Generate_RRRsets"] + st["Find_Most_Influential_Set"]
+            ) / st["Total"]
+            assert dominant > 0.8, (model, p, dominant)
+        # Selection's share grows with cores (Figure 2's message).
+        share_1 = (
+            data[(model, 1)]["Find_Most_Influential_Set"]
+            / data[(model, 1)]["Total"]
+        )
+        share_128 = (
+            data[(model, 128)]["Find_Most_Influential_Set"]
+            / data[(model, 128)]["Total"]
+        )
+        assert share_128 > share_1, model

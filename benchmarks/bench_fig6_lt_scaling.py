@@ -1,0 +1,32 @@
+"""Figure 6 — strong scaling, LT model, both frameworks, all 8 datasets.
+
+Regenerates the speedup-vs-threads series normalised to Ripples at 1
+thread.  Shape assertions: EfficientIMM's best time beats Ripples' best on
+every dataset and keeps scaling to higher thread counts.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_fig6
+from repro.graph.datasets import dataset_names
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return experiment_fig6()
+
+
+def test_fig6_lt_scaling(benchmark, fig6):
+    data = fig6.data
+    benchmark(lambda: data[("amazon", "EfficientIMM")].saturation_threads())
+
+    print_table(fig6)
+    for name in dataset_names():
+        rip = data[(name, "Ripples")]
+        eimm = data[(name, "EfficientIMM")]
+        assert eimm.best_time < rip.best_time, name
+        assert eimm.saturation_threads() >= rip.saturation_threads(), name
+        # EfficientIMM at its best is faster than Ripples at *every* p.
+        assert eimm.best_time < min(rip.times_s), name

@@ -1,0 +1,48 @@
+"""Table I — graph and RRR-set characteristics (all 8 replica datasets).
+
+Regenerates the paper's Table I: per dataset, the node/edge counts and the
+average/maximum RRR coverage under the IC model with uniform edge weights.
+Assertions pin the qualitative signature: coverage within a factor-2 band of
+the paper's measurement, and as-Skitter as the ~1% outlier.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_table1
+from repro.graph.datasets import DATASETS
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return experiment_table1(num_samples=50, seed=1)
+
+
+def test_table1_characteristics(benchmark, table1):
+    # Benchmark the measurement primitive: coverage statistics of one store.
+    from repro.core.sampling import RRRSampler, SamplingConfig
+    from repro.diffusion.base import get_model
+    from repro.graph.datasets import load_dataset
+    from repro.sketch.stats import coverage_stats
+
+    g = load_dataset("dblp", model="IC")
+    sampler = RRRSampler(
+        get_model("IC", g), SamplingConfig.efficientimm(), seed=0
+    )
+    sampler.extend(40)
+    benchmark(lambda: coverage_stats(sampler.store))
+
+    print_table(table1)
+    data = table1.data
+    for name, spec in DATASETS.items():
+        cs = data[name]
+        assert spec.paper_avg_coverage / 2.2 < cs.avg_coverage < (
+            spec.paper_avg_coverage * 2.2
+        ), name
+        assert cs.max_coverage >= cs.avg_coverage
+
+    # The discriminating structure of Table I: skitter is the outlier.
+    assert data["skitter"].avg_coverage < 0.05
+    for dense in ("amazon", "livejournal", "pokec", "twitter7"):
+        assert data[dense].avg_coverage > 0.4, dense

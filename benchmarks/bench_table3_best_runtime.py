@@ -1,0 +1,99 @@
+"""Table III — best runtime, EfficientIMM vs Ripples, IC and LT, 8 datasets.
+
+Each (dataset, model) workload is really sampled and really selected (at
+p=1, 2); the simulated Perlmutter node prices both frameworks across
+1..128 threads and the best time per framework is reported — the paper's
+"best execution time" methodology.  The Twitter7-IC Ripples cell reproduces
+the paper's OOM via the paper-scale footprint projection.
+
+Shape assertions: EfficientIMM wins on every workload; the aggregate mean
+speedup falls in the paper's 1.2x-12.1x band neighbourhood; Ripples OOMs on
+Twitter7-IC while EfficientIMM fits.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    PAPER_TABLE3,
+    experiment_table3,
+    get_profiles,
+    oom_projection,
+)
+from repro.simmachine.cost import CostModel
+from repro.simmachine.topology import perlmutter
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return experiment_table3()
+
+
+def test_table3_best_runtime(benchmark, table3):
+    # Benchmark the pricing kernel: one full scaling curve evaluation.
+    cm = CostModel(perlmutter())
+    prof = get_profiles("amazon", "IC")["EfficientIMM"]
+    benchmark(lambda: cm.scaling_curve(prof))
+
+    print_table(table3)
+    speedups = []
+    deeper_scaling = 0
+    for (name, model), row in table3.data.items():
+        rip, eimm = row["Ripples"], row["EfficientIMM"]
+        assert eimm.best_time_s < rip.best_time_s, (name, model)
+        speedups.append(rip.best_time_s / eimm.best_time_s)
+        deeper_scaling += eimm.best_threads >= rip.best_threads
+    # EfficientIMM's best thread count is at least Ripples' on nearly all
+    # workloads (the paper itself notes small datasets lose parallelisation
+    # opportunity at 128 threads, so we allow a couple of exceptions).
+    assert deeper_scaling >= len(table3.data) - 2
+
+    mean_speedup = float(np.mean(speedups))
+    # Paper: 1.6x-12.1x per dataset, 5.9x average.  Same universe required
+    # (the floor allows the tightly capped Twitter7-IC workload, whose paper
+    # cell is OOM rather than a ratio).
+    assert 1.05 < min(speedups)
+    assert 2.0 < mean_speedup < 25.0
+    print(f"\nmean best-vs-best speedup: {mean_speedup:.1f}x (paper avg 5.9x)")
+
+
+def test_table3_twitter7_oom(benchmark):
+    proj = benchmark(lambda: oom_projection("twitter7", "IC"))
+    # Ripples' sorted-vector store exceeds the 512 GB node at paper scale;
+    # EfficientIMM's adaptive bitmaps fit with a wide margin.
+    assert proj["ripples_oom"]
+    assert not proj["efficientimm_oom"]
+    assert proj["efficientimm_bytes"] < 0.25 * proj["ripples_bytes"]
+    print(
+        f"\ntwitter7 projection: theta={proj['theta']:.0f}, "
+        f"Ripples {proj['ripples_bytes'] / 2**30:.0f} GiB vs "
+        f"EfficientIMM {proj['efficientimm_bytes'] / 2**30:.0f} GiB "
+        f"(budget {proj['budget_bytes'] / 2**30:.0f} GiB)"
+    )
+
+
+def test_table3_speedup_band_per_model(benchmark, table3):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # LT and IC each show wins (the paper's two sub-tables).
+    for model in ("IC", "LT"):
+        s = [
+            row["Ripples"].best_time_s / row["EfficientIMM"].best_time_s
+            for (name, m), row in table3.data.items()
+            if m == model
+        ]
+        assert min(s) > 1.0, model
+        assert max(s) > 2.0, model
+
+
+def test_table3_paper_reference_complete(benchmark, table3):
+    benchmark.pedantic(lambda: dict(PAPER_TABLE3), rounds=1, iterations=1)
+    # Every (dataset, model) cell has a paper reference value recorded.
+    for key in table3.data:
+        assert key in PAPER_TABLE3
+        rip_paper, eimm_paper = PAPER_TABLE3[key]
+        assert eimm_paper > 0
+        assert math.isnan(rip_paper) or rip_paper > 0

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every paper experiment is executed once per pytest session (module-level
+caches inside :mod:`repro.bench.experiments`); the ``benchmark`` fixture then
+times a representative kernel so ``pytest-benchmark`` reports something
+meaningful without re-running multi-second experiments dozens of times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import RRRSampler, SamplingConfig
+from repro.diffusion.base import get_model
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def amazon_ic_graph():
+    return load_dataset("amazon", model="IC", seed=0)
+
+
+@pytest.fixture(scope="session")
+def amazon_store(amazon_ic_graph):
+    """A 300-set RRR store on the amazon replica (shared kernel workload)."""
+    sampler = RRRSampler(
+        get_model("IC", amazon_ic_graph),
+        SamplingConfig.efficientimm(num_threads=1),
+        seed=0,
+    )
+    sampler.extend(300)
+    return sampler
+
+
+def print_table(table) -> None:
+    """Print an experiment table so ``pytest -s`` / captured output shows
+    the regenerated rows (mirrors the CLI output)."""
+    print(table.render())

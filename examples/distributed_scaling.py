@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Distributed IMM: the paper's future-work MPI extension, explored.
+
+The paper closes by proposing an MPI extension of EfficientIMM, arguing it
+adds no communication beyond Ripples' MPI design.  This example runs the
+distributed algorithm on a simulated Perlmutter cluster (alpha-beta
+interconnect) and shows the classic distributed-IM scaling story:
+
+- per-node sampling work shrinks with the node count,
+- each selection round costs one counter-sized allreduce, so the wire time
+  grows with nodes and eventually dominates,
+- the sweet spot sits where those curves cross.
+
+Run:  python examples/distributed_scaling.py [dataset]
+"""
+
+import sys
+
+from repro.core.params import IMMParams
+from repro.distributed import DistributedIMM, perlmutter_cluster
+from repro.graph.datasets import load_dataset
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "skitter"
+    graph = load_dataset(dataset, model="IC", seed=0)
+    params = IMMParams(k=20, theta_cap=4000, seed=5)
+    print(
+        f"{dataset}: {graph.num_vertices:,} vertices, "
+        f"{graph.num_edges:,} edges; k={params.k}, "
+        f"theta capped at {params.theta_cap:,}\n"
+    )
+    print(f"{'nodes':>5s} {'sampling':>10s} {'selection':>10s} "
+          f"{'comm':>10s} {'total':>10s} {'collectives':>12s}")
+    best = None
+    for nodes in (1, 2, 4, 8, 16, 32):
+        res = DistributedIMM(
+            graph, perlmutter_cluster(nodes), threads_per_rank=16
+        ).run(params)
+        print(
+            f"{nodes:5d} {res.sampling_time_s * 1e3:9.3f}m "
+            f"{res.selection_compute_s * 1e3:9.3f}m "
+            f"{res.comm.comm_time_s * 1e3:9.3f}m "
+            f"{res.total_time_s * 1e3:9.3f}m "
+            f"{res.comm.num_collectives:12d}"
+        )
+        if best is None or res.total_time_s < best[1]:
+            best = (nodes, res.total_time_s)
+    print(
+        f"\nsweet spot: {best[0]} nodes — beyond it the per-round "
+        f"allreduce of the global counter outweighs the sampling savings."
+    )
+    print(
+        "The communication pattern (one counter reduction per level + per "
+        "selection round) matches the paper's 'no additional communication "
+        "compared to Ripples' MPI implementation' claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Outbreak detection: place monitors where an epidemic is seen earliest.
+
+The public-health framing of influence maximization (Leskovec et al.'s
+outbreak detection, cited in the paper's introduction): on a contact
+network, the k most *influential* nodes are also the best monitoring sites —
+a cascade starting anywhere is most likely to pass through them.
+
+This example builds a spatial contact network (random geometric graph — the
+same topology class as the as-Skitter replica), assigns contagion
+probabilities, selects monitor locations with EfficientIMM under both
+diffusion models, and measures detection rates with forward simulations.
+
+Run:  python examples/outbreak_detection.py
+"""
+
+import numpy as np
+
+from repro import EfficientIMM, IMMParams, get_model
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import random_geometric
+from repro.graph.weights import assign_ic_weights, assign_lt_weights
+
+
+def detection_rate(model, monitors: set[int], num_outbreaks: int, rng) -> float:
+    """Fraction of simulated outbreaks that reach at least one monitor."""
+    n = model.graph.num_vertices
+    hits = 0
+    for _ in range(num_outbreaks):
+        origin = int(rng.integers(0, n))
+        infected = model.forward_sample(np.array([origin]), rng)
+        if monitors & set(infected.tolist()):
+            hits += 1
+    return hits / num_outbreaks
+
+
+def main() -> None:
+    n, k = 2500, 12
+    src, dst = random_geometric(n, radius=2.2 / np.sqrt(n), seed=9)
+    contact = from_edge_array(src, dst, num_vertices=n)
+    print(f"contact network: {n:,} people, {contact.num_edges:,} contacts\n")
+
+    rng = np.random.default_rng(17)
+    for model_name, weigh in (
+        ("IC", lambda g: assign_ic_weights(g, seed=1, scale=0.6)),
+        ("LT", lambda g: assign_lt_weights(g, seed=1)),
+    ):
+        weighted = weigh(contact)
+        params = IMMParams(
+            k=k, epsilon=0.5, model=model_name, seed=2, theta_cap=4000
+        )
+        result = EfficientIMM(weighted).run(params)
+        model = get_model(model_name, weighted)
+        monitors = set(result.seeds.tolist())
+
+        rate_imm = detection_rate(model, monitors, 300, rng)
+        random_monitors = set(
+            rng.choice(n, size=k, replace=False).tolist()
+        )
+        rate_rand = detection_rate(model, random_monitors, 300, rng)
+
+        print(
+            f"[{model_name}] monitors={sorted(monitors)[:6]}... "
+            f"detection rate: IMM {rate_imm:.1%} vs random {rate_rand:.1%} "
+            f"({result.times.total:.2f}s to select)"
+        )
+        assert rate_imm >= rate_rand, "IMM monitors must not lose to random"
+
+    print(
+        "\nIMM-chosen monitors intercept more outbreaks than random ones "
+        "under both diffusion models."
+    )
+
+
+if __name__ == "__main__":
+    main()

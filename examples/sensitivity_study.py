@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Sensitivity study: how epsilon and k drive IMM's cost and quality.
+
+Two sweeps on the com-DBLP replica, IC model:
+
+1. **epsilon sweep** — theta (and thus memory and work) scales like
+   ``1/eps^2``: halving epsilon roughly quadruples the samples, while the
+   achieved spread barely moves — the practical reason the paper (and
+   everyone else) benchmarks at eps = 0.5;
+2. **k sweep** — marginal spread per extra seed decays (submodularity),
+   visible directly in IMM's own F(S) estimates.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from repro import EfficientIMM, IMMParams, estimate_spread, get_model, load_dataset
+from repro.bench.figures import ascii_chart
+
+
+def main() -> None:
+    graph = load_dataset("dblp", model="IC", seed=0)
+    model = get_model("IC", graph)
+    print(
+        f"com-DBLP replica: {graph.num_vertices:,} vertices, "
+        f"{graph.num_edges:,} edges\n"
+    )
+
+    # ---- epsilon sweep ------------------------------------------------
+    print("epsilon sweep (k=10):")
+    print(f"{'eps':>6s} {'theta':>9s} {'RRR sets':>9s} {'MC spread':>10s}")
+    eps_points, theta_points = [], []
+    for eps in (0.9, 0.7, 0.5, 0.35, 0.25):
+        res = EfficientIMM(graph).run(
+            IMMParams(k=10, epsilon=eps, seed=1, theta_cap=200_000)
+        )
+        spread = estimate_spread(model, res.seeds, num_samples=60, seed=2).mean
+        print(
+            f"{eps:6.2f} {res.theta:9,d} {res.num_rrrsets:9,d} "
+            f"{spread:10,.0f}"
+        )
+        eps_points.append(eps)
+        theta_points.append(float(res.theta))
+    ratio = theta_points[-1] / theta_points[0]
+    predicted = (eps_points[0] / eps_points[-1]) ** 2
+    print(
+        f"  theta grew {ratio:.1f}x from eps={eps_points[0]} to "
+        f"{eps_points[-1]} (the 1/eps^2 law predicts ~{predicted:.1f}x)\n"
+    )
+
+    # ---- k sweep --------------------------------------------------------
+    print("k sweep (eps=0.5):")
+    ks = [1, 2, 5, 10, 20, 40]
+    spreads = []
+    for k in ks:
+        res = EfficientIMM(graph).run(
+            IMMParams(k=k, epsilon=0.5, seed=1, theta_cap=4000)
+        )
+        spreads.append(res.spread_estimate)
+        print(f"  k={k:3d}  sigma~= {res.spread_estimate:8,.0f}")
+    print()
+    print(ascii_chart(
+        {"sigma(S_k)": ([float(k) for k in ks], spreads)},
+        log_x=True, title="diminishing returns of the seed budget",
+        y_label="spread", width=50, height=10,
+    ))
+    # Submodularity: the first seed is worth more than seeds 21..40 combined
+    # contribute.
+    first = spreads[0]
+    tail = spreads[-1] - spreads[-2]
+    print(
+        f"\nfirst seed adds {first:,.0f} vertices; "
+        f"seeds 21-40 together add {tail:,.0f} — diminishing returns, "
+        f"the submodularity that makes the greedy (1 - 1/e)-good."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Benchmark harness: experiment definitions, runners, and reporting.
+
+Each of the paper's tables/figures has an experiment function here that the
+``benchmarks/`` pytest modules and the ``repro`` CLI both call; the
+experiment functions return structured results, and :mod:`repro.bench.report`
+renders them as the paper's rows/series with a paper-vs-measured column.
+"""
+
+from repro.bench.report import Table, format_speedup
+from repro.bench.experiments import (
+    experiment_fig1,
+    experiment_fig2,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+)
+
+__all__ = [
+    "Table",
+    "format_speedup",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_fig1",
+    "experiment_fig2",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+]

@@ -1,0 +1,115 @@
+"""Terminal line charts for the figure experiments.
+
+The paper's Figures 1/6/7 are speedup-vs-threads line plots; this module
+renders the same series as ASCII charts so ``repro experiment fig7`` shows
+the curve shapes directly in the terminal (the CSV export feeds real
+plotting tools).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["ascii_chart", "scaling_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, tuple[list[float], list[float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multi-series (x, y) data as an ASCII line chart.
+
+    Each series gets a distinct marker; the legend maps markers to labels.
+    ``log_x`` places x positions on a log2 axis (thread sweeps).
+    """
+    if not series:
+        raise ParameterError("ascii_chart needs at least one series")
+    for label, (xs, ys) in series.items():
+        if len(xs) != len(ys) or not xs:
+            raise ParameterError(f"series {label!r} malformed")
+    if len(series) > len(_MARKERS):
+        raise ParameterError(f"at most {len(_MARKERS)} series supported")
+
+    def tx(x: float) -> float:
+        return math.log2(x) if log_x else x
+
+    all_x = [tx(x) for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (xs, ys)), marker in zip(series.items(), _MARKERS):
+        cols = [
+            int(round((tx(x) - x_lo) / x_span * (width - 1))) for x in xs
+        ]
+        rows = [
+            height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            for y in ys
+        ]
+        # Connect consecutive points with interpolated markers.
+        for (c0, r0), (c1, r1) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = c0 + (c1 - c0) * s // steps
+                r = r0 + (r1 - r0) * s // steps
+                if grid[r][c] == " " or s in (0, steps):
+                    grid[r][c] = marker
+        for c, r in zip(cols, rows):
+            grid[r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_lab = f"{y_hi:.3g}"
+    bot_lab = f"{y_lo:.3g}"
+    lab_w = max(len(top_lab), len(bot_lab), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_lab.rjust(lab_w)
+        elif i == height - 1:
+            prefix = bot_lab.rjust(lab_w)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(lab_w)
+        else:
+            prefix = " " * lab_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_left = 2.0**x_lo if log_x else x_lo
+    x_right = 2.0**x_hi if log_x else x_hi
+    axis = f"{' ' * lab_w} +{'-' * width}"
+    xl = f"{x_left:.3g}".ljust(width // 2)
+    xr = f"{x_right:.3g}".rjust(width - len(xl))
+    lines.append(axis)
+    lines.append(f"{' ' * lab_w}  {xl}{xr}")
+    legend = "   ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{' ' * lab_w}  {legend}")
+    return "\n".join(lines)
+
+
+def scaling_chart(curves: dict[str, "object"], *, title: str = "") -> str:
+    """Chart :class:`~repro.simmachine.cost.ScalingCurve` objects
+    (speedup over each curve's own 1-thread time, log-x)."""
+    series = {}
+    for label, curve in curves.items():
+        xs = list(curve.thread_counts)
+        base = curve.times_s[0]
+        ys = [base / t for t in curve.times_s]
+        series[label] = (xs, ys)
+    return ascii_chart(
+        series, log_x=True, title=title, y_label="speedup",
+    )

@@ -1,0 +1,87 @@
+"""Plain-text table rendering and CSV output for experiment results.
+
+The harness prints every reproduced table/figure as an aligned ASCII table
+(the terminal equivalent of the paper's layout) and can dump the same rows
+as CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Table", "format_speedup", "format_ratio"]
+
+
+@dataclass
+class Table:
+    """An aligned text table with optional title and footnotes."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    extras: list[str] = field(default_factory=list)  # charts etc.
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def _cell(self, value: object) -> str:
+        if isinstance(value, float):
+            if value == 0.0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    def render(self) -> str:
+        cells = [[self._cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[c]), *(len(r[c]) for r in cells), 1)
+            if cells
+            else len(self.columns[c])
+            for c in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        out.write(f"\n== {self.title} ==\n")
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in cells:
+            out.write("  ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n")
+        for note in self.notes:
+            out.write(f"  * {note}\n")
+        for block in self.extras:
+            out.write("\n" + block + "\n")
+        return out.getvalue()
+
+    def print(self) -> None:
+        print(self.render())
+
+    def to_csv(self, path: str | Path) -> None:
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+
+def format_speedup(value: float) -> str:
+    """Render a speedup factor the way the paper does (``5.9x``)."""
+    return f"{value:.1f}x"
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """Side-by-side measured-vs-paper cell (``0.62 (paper 0.61)``)."""
+    return f"{measured:.3g} (paper {paper:.3g})"

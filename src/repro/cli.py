@@ -1,0 +1,298 @@
+"""Command-line entry point: regenerate any paper table/figure, or run IMM.
+
+Usage::
+
+    repro list                      # available experiments + datasets
+    repro experiment table3         # regenerate Table III
+    repro experiment all            # everything (minutes)
+    repro run youtube --model IC --k 20 --framework efficientimm
+    repro datasets                  # replica inventory vs paper stats
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "table4",
+    "fig1", "fig2", "fig5", "fig6", "fig7",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EfficientIMM reproduction: experiments and IMM runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and datasets")
+    sub.add_parser("datasets", help="show the replica dataset inventory")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "id", choices=(*_EXPERIMENTS, "all"),
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    exp.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write each regenerated table as <DIR>/<id>.csv",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="artifact-style strong-scaling sweep writing JSON run logs",
+    )
+    sweep.add_argument(
+        "--out", default="strong-scaling", help="output root directory"
+    )
+    sweep.add_argument(
+        "--datasets", nargs="*", default=None,
+        help="subset of datasets (default: all eight)",
+    )
+    sweep.add_argument(
+        "--models", nargs="*", default=["IC", "LT"], choices=["IC", "LT"],
+    )
+    sweep.add_argument("--k", type=int, default=50)
+    sweep.add_argument("--epsilon", type=float, default=0.5)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    extract = sub.add_parser(
+        "extract-results",
+        help="summarise sweep logs into speedup_<model>.csv (the artifact's "
+        "extract_results.py)",
+    )
+    extract.add_argument(
+        "--logs", default="strong-scaling", help="sweep output root"
+    )
+    extract.add_argument(
+        "--results", default=None, help="CSV directory (default <logs>/results)"
+    )
+
+    val = sub.add_parser(
+        "validate",
+        help="statistical health checks of the samplers and estimators",
+    )
+    val.add_argument("--dataset", default="amazon")
+    val.add_argument("--model", default="IC", choices=("IC", "LT"))
+    val.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run IMM on a replica dataset")
+    run.add_argument("dataset", help="dataset name, e.g. 'youtube'")
+    run.add_argument("--model", default="IC", choices=("IC", "LT"))
+    run.add_argument("--k", type=int, default=50, help="seed budget")
+    run.add_argument("--epsilon", type=float, default=0.5)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--theta-cap", type=int, default=2000)
+    run.add_argument(
+        "--framework", default="efficientimm",
+        choices=("efficientimm", "ripples"),
+    )
+    run.add_argument(
+        "--estimate-spread", action="store_true",
+        help="Monte-Carlo validate the seed set's spread",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.graph.datasets import dataset_names
+
+    print("experiments:", ", ".join(_EXPERIMENTS))
+    print("datasets:   ", ", ".join(dataset_names()))
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from repro.bench.report import Table
+    from repro.graph.datasets import DATASETS, load_dataset
+
+    t = Table(
+        "Replica datasets",
+        ["name", "paper name", "replica n", "replica m",
+         "paper n", "paper m", "class"],
+    )
+    for name, spec in DATASETS.items():
+        g = load_dataset(name)
+        t.add_row(
+            name, spec.paper_name, g.num_vertices, g.num_edges,
+            spec.paper_nodes, spec.paper_edges, spec.description,
+        )
+    t.print()
+    return 0
+
+
+def _cmd_experiment(exp_id: str, csv_dir: str | None = None) -> int:
+    from repro.bench import experiments as X
+
+    fns = {
+        "table1": X.experiment_table1,
+        "table2": X.experiment_table2,
+        "table3": X.experiment_table3,
+        "table4": X.experiment_table4,
+        "fig1": X.experiment_fig1,
+        "fig2": X.experiment_fig2,
+        "fig5": X.experiment_fig5,
+        "fig6": X.experiment_fig6,
+        "fig7": X.experiment_fig7,
+    }
+    ids = list(fns) if exp_id == "all" else [exp_id]
+    for eid in ids:
+        t0 = time.perf_counter()
+        table = fns[eid]()
+        table.print()
+        if csv_dir is not None:
+            from pathlib import Path
+
+            out = Path(csv_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"{eid}.csv"
+            table.to_csv(path)
+            print(f"[csv written to {path}]")
+        print(f"[{eid} regenerated in {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import EfficientIMM, IMMParams, RipplesIMM, load_dataset
+
+    graph = load_dataset(args.dataset, model=args.model, seed=args.seed)
+    params = IMMParams(
+        k=args.k, epsilon=args.epsilon, model=args.model,
+        seed=args.seed, theta_cap=args.theta_cap,
+    )
+    algo = (
+        EfficientIMM(graph) if args.framework == "efficientimm"
+        else RipplesIMM(graph)
+    )
+    result = algo.run(params)
+    print(result.summary())
+    print("seeds:", " ".join(map(str, result.seeds.tolist())))
+    for stage, secs in result.times.stages.items():
+        print(f"  {stage}: {secs:.3f}s")
+    if args.estimate_spread:
+        from repro import estimate_spread, get_model
+
+        model = get_model(args.model, graph)
+        est = estimate_spread(model, result.seeds, num_samples=100, seed=args.seed)
+        lo, hi = est.confidence_interval()
+        print(
+            f"MC spread: {est.mean:.1f} +- {est.stderr:.1f} "
+            f"(95% CI [{lo:.1f}, {hi:.1f}])"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweep import run_sweep
+
+    t0 = time.perf_counter()
+    written = run_sweep(
+        args.out,
+        datasets=args.datasets,
+        models=tuple(args.models),
+        k=args.k,
+        epsilon=args.epsilon,
+        seed=args.seed,
+    )
+    print(
+        f"wrote {len(written)} run logs under {args.out}/ "
+        f"in {time.perf_counter() - t0:.1f}s"
+    )
+    print("next: repro extract-results --logs", args.out)
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.bench.sweep import extract_results
+
+    paths = extract_results(args.logs, args.results)
+    if not paths:
+        print(f"no sweep logs found under {args.logs}/")
+        return 1
+    for model, path in paths.items():
+        print(f"{model}: {path}")
+        print(path.read_text().rstrip())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import EfficientIMM, IMMParams, estimate_spread, get_model, load_dataset
+    from repro.core.parallel_sampling import parallel_generate
+    from repro.core.sampling import RRRSampler, SamplingConfig
+    from repro.runtime.backends import SerialBackend
+    from repro.validate import (
+        roots_are_uniform,
+        same_size_distribution,
+        spread_consistent,
+    )
+
+    graph = load_dataset(args.dataset, model=args.model, seed=args.seed)
+    model = get_model(args.model, graph)
+    rng = np.random.default_rng(args.seed)
+    checks = []
+
+    roots = np.array([model.random_root(rng) for _ in range(3000)])
+    checks.append(roots_are_uniform(roots, graph.num_vertices))
+
+    serial = RRRSampler(
+        get_model(args.model, graph),
+        SamplingConfig.efficientimm(num_threads=1),
+        seed=args.seed,
+    )
+    serial.extend(200)
+    par = parallel_generate(
+        graph, args.model, 200, num_workers=3, seed=args.seed + 1,
+        backend=SerialBackend(),
+    )
+    checks.append(same_size_distribution(serial.store.sizes(), par.sizes()))
+
+    res = EfficientIMM(graph).run(
+        IMMParams(k=8, model=args.model, theta_cap=1200, seed=args.seed)
+    )
+    est = estimate_spread(model, res.seeds, num_samples=120, seed=args.seed + 2)
+    checks.append(spread_consistent(res.spread_estimate, est.mean, est.stderr))
+
+    failed = 0
+    for c in checks:
+        status = "PASS" if c else "FAIL"
+        failed += not c
+        stat = f"stat={c.statistic:.3g}"
+        pv = "" if c.p_value != c.p_value else f" p={c.p_value:.3g}"
+        print(f"  [{status}] {c.name}: {stat}{pv} ({c.detail})")
+    print(
+        f"{len(checks) - failed}/{len(checks)} statistical checks passed "
+        f"on {args.dataset} [{args.model}]"
+    )
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "experiment":
+        return _cmd_experiment(args.id, args.csv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "extract-results":
+        return _cmd_extract(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""IMM core: martingale math, sampling/selection kernels, and both facades.
+
+- :mod:`repro.core.params` — run parameters and result records;
+- :mod:`repro.core.martingale` — Tang et al.'s theta-estimation math;
+- :mod:`repro.core.sampling` — ``Generate_RRRsets`` (fused and unfused);
+- :mod:`repro.core.selection` — ``Find_Most_Influential_Set`` in both the
+  Ripples (vertex-partitioned) and EfficientIMM (RRR-partitioned) designs;
+- :mod:`repro.core.imm` — the Algorithm-1 driver shared by both facades;
+- :mod:`repro.core.ripples` / :mod:`repro.core.efficientimm` — the two
+  systems under comparison;
+- :mod:`repro.core.greedy` — CELF greedy reference for quality validation;
+- :mod:`repro.core.opim` — OPIM-C, the online early-termination variant
+  discussed in the paper's related work;
+- :mod:`repro.core.fis` — PacIM-style forward influence sketches;
+- :mod:`repro.core.parallel_sampling` — process-parallel RRR generation.
+"""
+
+from repro.core.efficientimm import EfficientIMM
+from repro.core.fis import fis_select
+from repro.core.greedy import celf_greedy
+from repro.core.imm import run_imm
+from repro.core.opim import run_opim
+from repro.core.parallel_sampling import parallel_generate
+from repro.core.params import IMMParams, IMMResult
+from repro.core.ripples import RipplesIMM
+
+__all__ = [
+    "IMMParams",
+    "IMMResult",
+    "run_imm",
+    "EfficientIMM",
+    "RipplesIMM",
+    "celf_greedy",
+    "run_opim",
+    "fis_select",
+    "parallel_generate",
+]

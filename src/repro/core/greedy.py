@@ -1,0 +1,97 @@
+"""CELF lazy-greedy influence maximisation — the quality reference.
+
+Monte-Carlo greedy (Kempe et al. 2003 + Leskovec et al.'s CELF lazy
+evaluation) is the classical ``(1 - 1/e)``-approximation that IMM matches at
+a fraction of the cost.  The reproduction uses it to *validate solution
+quality*: on small graphs, IMM's seed sets must achieve a spread within the
+theory's tolerance of CELF's.
+
+CELF exploits submodularity: a node's marginal gain can only shrink as the
+seed set grows, so stale heap entries are lazily re-evaluated instead of
+recomputing every node each round.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.spread import estimate_spread
+from repro.errors import ParameterError
+
+__all__ = ["GreedyResult", "celf_greedy"]
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Seeds, the spread achieved, and the evaluation count CELF saved."""
+
+    seeds: np.ndarray
+    spread: float
+    num_evaluations: int
+
+
+def celf_greedy(
+    model: DiffusionModel,
+    k: int,
+    *,
+    num_samples: int = 100,
+    seed=None,
+    candidates: np.ndarray | None = None,
+) -> GreedyResult:
+    """Run CELF greedy under ``model``; returns k seeds maximising the
+    Monte-Carlo spread estimate.
+
+    ``candidates`` restricts the search space (useful on larger graphs —
+    e.g. the top-degree decile); ``None`` considers every vertex.
+    """
+    check_positive_int("k", k)
+    n = model.graph.num_vertices
+    if k > n:
+        raise ParameterError(f"k={k} exceeds vertex count {n}")
+    rng = as_rng(seed)
+    if candidates is None:
+        candidates = np.arange(n, dtype=np.int64)
+    else:
+        candidates = np.asarray(candidates, dtype=np.int64).ravel()
+        if candidates.size < k:
+            raise ParameterError("fewer candidates than k")
+
+    def sigma(seed_list: list[int]) -> float:
+        return estimate_spread(
+            model,
+            np.asarray(seed_list, dtype=np.int64),
+            num_samples=num_samples,
+            seed=rng,
+        ).mean
+
+    evaluations = 0
+    # Initial pass: marginal gain of each singleton.
+    heap: list[tuple[float, int, int]] = []  # (-gain, round_evaluated, v)
+    for v in candidates.tolist():
+        gain = sigma([v])
+        evaluations += 1
+        heapq.heappush(heap, (-gain, 0, v))
+
+    seeds: list[int] = []
+    base_spread = 0.0
+    while len(seeds) < k:
+        neg_gain, evaluated_at, v = heapq.heappop(heap)
+        if evaluated_at == len(seeds):
+            # Fresh for the current seed set: submodularity makes it optimal.
+            seeds.append(v)
+            base_spread += -neg_gain
+        else:
+            gain = sigma(seeds + [v]) - base_spread
+            evaluations += 1
+            heapq.heappush(heap, (-gain, len(seeds), v))
+
+    return GreedyResult(
+        seeds=np.asarray(seeds, dtype=np.int64),
+        spread=base_spread,
+        num_evaluations=evaluations,
+    )

@@ -1,0 +1,146 @@
+"""The IMM driver: Algorithm 1 (sampling phase + selection phase).
+
+Shared by both facades; the framework-specific behaviour is injected through
+the :class:`~repro.core.sampling.SamplingConfig` and a selection callable.
+
+The control flow is Tang et al.'s (and Ripples'):
+
+1. **Estimation loop** — for levels ``i = 1 .. log2(n)-1``: grow the RRR
+   store to ``theta_i = lambda' / (n / 2^i)`` sets, run the greedy selection,
+   and stop as soon as ``n F(S) >= (1 + eps') * n / 2^i``; this certifies
+   the OPT lower bound ``LB = n F(S) / (1 + eps')``.
+2. **Top-up** — compute ``theta = lambda* / LB``; if more sets are needed,
+   generate them (reusing everything already sampled — the martingale
+   argument is what makes this reuse sound).
+3. **Selection phase** — one final greedy over all theta sets.
+
+``params.theta_cap`` bounds both phases for test/bench workloads; when it
+binds, the run is flagged (``theta_capped``) so accuracy-sensitive callers
+can tell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro._util import StageTimes
+from repro.core.martingale import MartingaleSchedule
+from repro.core.params import IMMParams, IMMResult
+from repro.core.sampling import RRRSampler, SamplingConfig
+from repro.core.selection import SelectionResult
+from repro.diffusion.base import get_model
+from repro.graph.csr import CSRGraph
+
+__all__ = ["run_imm", "SelectFn"]
+
+
+class SelectFn(Protocol):
+    """Signature of a selection kernel as the driver invokes it."""
+
+    def __call__(
+        self,
+        store,
+        k: int,
+        num_threads: int,
+        initial_counter: np.ndarray | None,
+    ) -> SelectionResult: ...
+
+
+def run_imm(
+    graph: CSRGraph,
+    params: IMMParams,
+    sampling_config: SamplingConfig,
+    select_fn: SelectFn,
+    *,
+    gather_before_select: bool = False,
+) -> IMMResult:
+    """Execute Algorithm 1 and return a fully populated :class:`IMMResult`.
+
+    ``gather_before_select=True`` charges Ripples' redistribution step (every
+    stored entry copied once) ahead of each selection; EfficientIMM's fused,
+    partition-local pipeline skips it.
+    """
+    n = graph.num_vertices
+    times = StageTimes()
+    model = get_model(params.model, graph)
+    sched = MartingaleSchedule.for_run(n, params.k, params.epsilon, params.ell)
+    sampler = RRRSampler(model, sampling_config, seed=params.seed)
+
+    def capped(theta: int) -> int:
+        if params.theta_cap is not None:
+            return min(theta, params.theta_cap)
+        return theta
+
+    def counter_arg() -> np.ndarray | None:
+        return sampler.counter if sampling_config.fused else None
+
+    def charge_gather() -> None:
+        if gather_before_select:
+            per_thread = sampler.gather_cost() / sampling_config.num_threads
+            st = sampler.stats
+            st.loads += per_thread / 2.0
+            st.stores += per_thread / 2.0
+            st.sync_barriers += 1
+
+    # ------------------------------------------------- 1. estimation loop
+    lb = 1.0
+    selection: SelectionResult | None = None
+    sel_stats = None
+    for level in range(1, sched.max_level + 1):
+        theta_i = capped(sched.theta_for_level(level))
+        with times.measure("Generate_RRRsets"):
+            sampler.extend(theta_i)
+        charge_gather()
+        with times.measure("Find_Most_Influential_Set"):
+            selection = select_fn(
+                sampler.store, params.k, params.num_threads, counter_arg()
+            )
+        sel_stats = (
+            selection.stats if sel_stats is None
+            else sel_stats.merge(selection.stats)
+        )
+        if sched.accepts(level, selection.coverage_fraction):
+            lb = sched.lower_bound(selection.coverage_fraction)
+            break
+        if params.theta_cap is not None and theta_i >= params.theta_cap:
+            # The cap bound the level; certify with what we have.
+            lb = max(sched.lower_bound(selection.coverage_fraction), 1.0)
+            break
+
+    # --------------------------------------------------------- 2. top-up
+    theta = capped(sched.theta_final(lb))
+    theta_capped = (
+        params.theta_cap is not None
+        and sched.theta_final(lb) > params.theta_cap
+    )
+    if len(sampler.store) < theta:
+        with times.measure("Generate_RRRsets"):
+            sampler.extend(theta)
+
+    # ----------------------------------------------- 3. selection phase
+    charge_gather()
+    with times.measure("Find_Most_Influential_Set"):
+        final = select_fn(
+            sampler.store, params.k, params.num_threads, counter_arg()
+        )
+    sel_stats = final.stats if sel_stats is None else sel_stats.merge(final.stats)
+
+    result = IMMResult(
+        seeds=final.seeds.copy(),
+        params=params,
+        theta=theta,
+        num_rrrsets=len(sampler.store),
+        coverage_fraction=final.coverage_fraction,
+        opt_lower_bound=lb,
+        times=times,
+        stats={
+            "Generate_RRRsets": sampler.stats,
+            "Find_Most_Influential_Set": sel_stats,
+        },
+        rrr_store_bytes=sampler.modelled_bytes(),
+        spread_estimate=n * final.coverage_fraction,
+    )
+    result.theta_capped = theta_capped  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,266 @@
+"""``Generate_RRRsets``: the sampling kernel, fused and unfused.
+
+Both frameworks draw theta RRR sets by probabilistic reverse BFS/walks from
+uniform roots; they differ in everything around that:
+
+===========================  ========================  =====================
+aspect                       Ripples                   EfficientIMM
+===========================  ========================  =====================
+per-set post-processing      sort each set             none (adaptive store)
+counter updates              separate later kernel     **fused** (Alg. 3)
+work distribution            static theta/p blocks     dynamic chunked queue
+set placement                gathered to one store     stays worker-local
+===========================  ========================  =====================
+
+The sampler executes the real sampling work serially (one host core) while
+*attributing* it to ``num_threads`` emulated workers according to the
+framework's scheduling policy; the per-thread attribution is what the
+simulated machine prices into parallel time.  Memory-footprint accounting is
+analytic (:func:`modelled_store_bytes`) so the Twitter7 OOM experiment does
+not need to materialise per-set objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.core.params import KernelStats
+from repro.diffusion.base import DiffusionModel
+from repro.errors import OutOfMemoryModelError, ParameterError
+from repro.sketch.rrr import AdaptivePolicy
+from repro.sketch.store import FlatRRRStore
+from repro.runtime.workqueue import simulate_schedule
+
+__all__ = ["RRRSampler", "modelled_store_bytes", "reverse_sample_with_cost"]
+
+
+def reverse_sample_with_cost(
+    model: DiffusionModel, root: int, rng: np.random.Generator
+) -> tuple[np.ndarray, int]:
+    """Draw one RRR set and return ``(vertices, edges_examined)``.
+
+    ``edges_examined`` is the traversal cost the schedulers balance on: the
+    number of in-edges whose coin was flipped (IC) or walk steps taken (LT).
+    """
+    kind = getattr(model, "name", "?")
+    if kind == "IC":
+        from repro.diffusion.ic import gather_frontier_edges
+
+        rev = model.reverse_graph
+        stamp = model._stamp
+        epoch = model._next_epoch()
+        stamp[root] = epoch
+        out = [np.array([root], dtype=np.int32)]
+        frontier = np.array([root], dtype=np.int64)
+        edges = 0
+        while frontier.size:
+            nbrs, probs = gather_frontier_edges(rev, frontier)
+            edges += nbrs.size
+            if nbrs.size == 0:
+                break
+            live = rng.random(nbrs.size) < probs
+            cand = nbrs[live]
+            if cand.size == 0:
+                break
+            cand = np.unique(cand)
+            fresh = cand[stamp[cand] != epoch]
+            if fresh.size == 0:
+                break
+            stamp[fresh] = epoch
+            out.append(fresh.astype(np.int32))
+            frontier = fresh.astype(np.int64)
+        return np.concatenate(out), edges
+    # LT (and any walk-style model): cost = path length.
+    verts = model.reverse_sample(root, rng)
+    return verts, int(verts.size)
+
+
+def modelled_store_bytes(
+    sizes: np.ndarray,
+    num_vertices: int,
+    policy: AdaptivePolicy | None,
+) -> int:
+    """Footprint of storing sets of the given sizes.
+
+    ``policy=None`` models Ripples (every set a 4-byte-per-entry sorted
+    vector); an :class:`AdaptivePolicy` models EfficientIMM (4-byte lists
+    below the threshold, ``n/8``-byte bitmaps above).
+    """
+    s = np.asarray(sizes, dtype=np.int64)
+    list_bytes = 4 * s
+    if policy is None:
+        return int(list_bytes.sum())
+    bitmap_bytes = (num_vertices + 7) // 8
+    thr = policy.threshold(num_vertices)
+    return int(np.where(s > thr, bitmap_bytes, list_bytes).sum())
+
+
+def charge_per_set(
+    edges: np.ndarray,
+    sizes: np.ndarray,
+    num_vertices: int,
+    adaptive_policy: AdaptivePolicy | None,
+    *,
+    fused: bool,
+) -> np.ndarray:
+    """Per-set generation cost under a framework's representation rules.
+
+    Recomputes what :class:`RRRSampler` charges online, from the charge-
+    independent primitives (edges examined, set size).  Lets one sampling
+    pass be re-priced for both frameworks without re-drawing the sets.
+    """
+    edges = np.asarray(edges, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    cost = edges + sizes
+    logs = np.log2(np.maximum(sizes, 2.0))
+    if adaptive_policy is None:
+        cost = cost + np.where(sizes > 1, sizes * logs, 0.0)
+    else:
+        thr = adaptive_policy.threshold(num_vertices)
+        rep = np.where(sizes > thr, sizes, sizes * logs)
+        cost = cost + np.where(sizes > 1, rep, 0.0)
+    if fused:
+        cost = cost + sizes
+    return cost
+
+
+@dataclass
+class SamplingConfig:
+    """How the sampler behaves; the two presets mirror the frameworks."""
+
+    num_threads: int = 1
+    fused: bool = True  # EfficientIMM: update counter as sets are produced
+    schedule: str = "dynamic"  # "static" (Ripples) or "dynamic"
+    chunk_size: int = 8
+    adaptive_policy: AdaptivePolicy | None = None  # None = all sorted lists
+    memory_budget_bytes: int | None = None
+
+    @classmethod
+    def ripples(cls, num_threads: int = 1, **kw) -> "SamplingConfig":
+        return cls(
+            num_threads=num_threads, fused=False,
+            schedule="static", adaptive_policy=None, **kw,
+        )
+
+    @classmethod
+    def efficientimm(cls, num_threads: int = 1, **kw) -> "SamplingConfig":
+        kw.setdefault("adaptive_policy", AdaptivePolicy())
+        return cls(
+            num_threads=num_threads, fused=True,
+            schedule="dynamic", **kw,
+        )
+
+
+class RRRSampler:
+    """Incrementally grows a store of RRR sets (IMM asks for more each level).
+
+    The physical store is always a :class:`FlatRRRStore`; representation
+    choices (sorted vs adaptive) affect the sort work charged, the membership
+    structures used at selection, and the modelled memory footprint.
+    """
+
+    def __init__(self, model: DiffusionModel, config: SamplingConfig, *, seed=0):
+        if config.num_threads < 1:
+            raise ParameterError("num_threads must be >= 1")
+        self.model = model
+        self.config = config
+        self.rng = as_rng(seed)
+        n = model.graph.num_vertices
+        # The physical layout always keeps sets internally sorted so both
+        # selection kernels can binary-search them; what differs between the
+        # frameworks is the *charged* post-processing cost (below).
+        self.store = FlatRRRStore(n, sort_sets=True)
+        self.counter = np.zeros(n, dtype=np.int64)  # fused global counter
+        self.per_set_costs: list[float] = []
+        self.per_set_edges: list[int] = []  # traversal work, charge-independent
+        self.stats = KernelStats(config.num_threads)
+        self.num_atomic_updates = 0
+
+    # ---------------------------------------------------------------- main
+    def extend(self, target_count: int) -> None:
+        """Generate sets until the store holds ``target_count`` of them."""
+        cfg = self.config
+        n = self.model.graph.num_vertices
+        new_costs: list[float] = []
+        new_sizes: list[int] = []
+        while len(self.store) < target_count:
+            root = int(self.rng.integers(0, n))
+            verts, edges = reverse_sample_with_cost(self.model, root, self.rng)
+            self.store.append(verts)
+            size = verts.size
+            # Traversal loads (edges examined) + writes of the set entries,
+            # plus the representation cost: Ripples sorts every set
+            # (s log s); EfficientIMM sorts only the small sets and builds a
+            # bitmap (O(s)) for dense ones (§IV-C).
+            cost = float(edges + size)
+            if size > 1:
+                if cfg.adaptive_policy is None:
+                    cost += size * np.log2(size)
+                elif size > cfg.adaptive_policy.threshold(n):
+                    cost += size  # bitmap construction
+                else:
+                    cost += size * np.log2(size)
+            if cfg.fused:
+                self.counter[verts] += 1  # in-place fused update (Alg. 3)
+                self.num_atomic_updates += size
+                cost += size
+            new_costs.append(cost)
+            new_sizes.append(size)
+            self.per_set_costs.append(cost)
+            self.per_set_edges.append(edges)
+
+        if new_costs:
+            self._attribute(np.asarray(new_costs), np.asarray(new_sizes))
+        self._check_budget()
+
+    def _attribute(self, costs: np.ndarray, sizes: np.ndarray) -> None:
+        """Charge this batch's work to emulated threads per the schedule."""
+        cfg = self.config
+        sched = simulate_schedule(
+            costs, cfg.num_threads, policy=cfg.schedule, chunk_size=cfg.chunk_size
+        )
+        per_thread = np.bincount(
+            sched.assignment, weights=costs, minlength=cfg.num_threads
+        )
+        self.stats.loads += per_thread
+        size_per_thread = np.bincount(
+            sched.assignment, weights=sizes.astype(np.float64),
+            minlength=cfg.num_threads,
+        )
+        self.stats.stores += size_per_thread
+        if cfg.fused:
+            self.stats.atomics += size_per_thread
+        self.stats.sync_barriers += 1
+
+    def _check_budget(self) -> None:
+        cfg = self.config
+        if cfg.memory_budget_bytes is None:
+            return
+        used = self.modelled_bytes()
+        if used > cfg.memory_budget_bytes:
+            raise OutOfMemoryModelError(used, cfg.memory_budget_bytes)
+
+    # ------------------------------------------------------------ accessors
+    def modelled_bytes(self) -> int:
+        """Footprint of the sets under this config's representation."""
+        return modelled_store_bytes(
+            self.store.sizes(),
+            self.store.num_vertices,
+            self.config.adaptive_policy,
+        )
+
+    def reset_counter(self) -> None:
+        """Zero the fused counter (IMM discards estimation-phase state)."""
+        self.counter[:] = 0
+
+    def rebuild_counter(self) -> None:
+        """Recompute the fused counter from the current store contents."""
+        self.counter = self.store.vertex_counts()
+
+    def gather_cost(self) -> float:
+        """Loads+stores of Ripples' gather/redistribution step: every stored
+        entry is copied once into the global structure before selection."""
+        return 2.0 * self.store.total_entries

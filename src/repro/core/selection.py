@@ -1,0 +1,424 @@
+"""``Find_Most_Influential_Set``: greedy max-cover in both designs.
+
+Given theta RRR sets, both kernels pick k seeds greedily: repeatedly take the
+vertex occurring in the most *uncovered* sets, then mark every set containing
+it as covered.  They return **identical seed sets** (same tie-breaking:
+lowest vertex id); what differs — and what this module reproduces — is the
+memory-traversal structure:
+
+**RipplesSelection** (§II-B, the baseline): the *vertex space* is block-
+partitioned over p threads; every thread traverses **all** RRR sets, binary-
+searching each sorted set for its range boundaries, to maintain its private
+counter slice; after each pick, every thread again traverses every covered
+set.  Total traffic grows with p (the paper's Challenge 1), which this
+implementation reproduces with *real* redundant passes — the Ripples kernel
+here genuinely reads the set store p times per counting pass, so wall-clock
+comparisons are meaningful.
+
+**EfficientSelection** (§IV, the contribution): the *RRR sets* are block-
+partitioned; one shared global counter receives fine-grained atomic
+updates; the seed is found by a two-step parallel reduction; and counter
+maintenance is adaptive — decrement newly covered sets when they are the
+minority, rebuild from uncovered sets when they dominate (§IV-C, Figure 5's
+knob, exposed as ``adaptive_update``).
+
+Membership ("which sets contain v") is resolved once per round with a
+segmented binary search over all remaining sorted sets — vectorised across
+sets, faithful to the per-set O(log s) probe both codes perform (adaptive
+bitmap sets are charged O(1) instead in the stats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import KernelStats
+from repro.errors import ParameterError
+from repro.runtime.partition import block_partition
+from repro.sketch.rrr import AdaptivePolicy
+from repro.sketch.store import FlatRRRStore
+
+__all__ = [
+    "SelectionResult",
+    "efficient_select",
+    "ripples_select",
+    "segmented_membership",
+]
+
+
+@dataclass
+class SelectionResult:
+    """Seeds plus the per-round accounting both evaluations consume."""
+
+    seeds: np.ndarray
+    coverage_fraction: float
+    stats: KernelStats
+    rounds: list[dict] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+
+def segmented_membership(
+    store: FlatRRRStore, v: int, active: np.ndarray
+) -> np.ndarray:
+    """Indices of active sets containing ``v`` via vectorised per-set
+    binary search (sets must be internally sorted).
+
+    Runs the classic bisection loop simultaneously on every active set:
+    ``ceil(log2(max_size))`` rounds of array-wide probes — the exact probe
+    count a per-set ``std::binary_search`` performs.
+    """
+    sets = np.flatnonzero(active)
+    if sets.size == 0:
+        return sets
+    offsets = store.offsets
+    verts = store.vertices
+    lo = offsets[sets].astype(np.int64)
+    end = offsets[sets + 1].astype(np.int64)
+    hi = end.copy()
+    target = np.int32(v)
+    # Array-wide lower-bound bisection: every iteration halves every open
+    # interval, exactly log2(max set size) rounds.
+    while True:
+        open_mask = lo < hi
+        if not np.any(open_mask):
+            break
+        mid = (lo + hi) >> 1
+        probe = verts[np.where(open_mask, mid, 0)]
+        less = open_mask & (probe < target)
+        lo = np.where(less, mid + 1, lo)
+        hi = np.where(open_mask & ~less, mid, hi)
+    if verts.size == 0:
+        return sets[:0]
+    safe = np.minimum(lo, verts.size - 1)
+    found = (lo < end) & (verts[safe] == target)
+    return sets[found]
+
+
+def _entry_set_ids(store: FlatRRRStore) -> np.ndarray:
+    """Set id of every flat entry (``repeat`` over sizes)."""
+    return np.repeat(
+        np.arange(len(store), dtype=np.int64), store.sizes()
+    )
+
+
+def _fresh_counts(
+    store: FlatRRRStore, active_entries: np.ndarray
+) -> np.ndarray:
+    """Occurrence counter over the entries whose mask is true."""
+    return np.bincount(
+        store.vertices[active_entries], minlength=store.num_vertices
+    ).astype(np.int64)
+
+
+# ===================================================================== IMM
+def efficient_select(
+    store: FlatRRRStore,
+    k: int,
+    num_threads: int = 1,
+    *,
+    initial_counter: np.ndarray | None = None,
+    adaptive_update: bool = True,
+    adaptive_policy: AdaptivePolicy | None = None,
+) -> SelectionResult:
+    """EfficientIMM's RRR-partitioned selection (Algorithm 2 + §IV-C).
+
+    Parameters
+    ----------
+    initial_counter:
+        The fused counter produced by Algorithm 3's in-place updates; when
+        provided the initialisation pass is skipped (kernel fusion).  When
+        ``None`` the kernel builds it with one pass (charged as atomic adds
+        by the set owners).
+    adaptive_update:
+        The §IV-C optimisation: *incrementally* maintain the counter,
+        decrementing newly covered sets when they are the minority and
+        rebuilding from the uncovered remainder when they dominate.
+
+        ``False`` reproduces Figure 5's "w/o adaptive update" arm: the
+        counter is re-derived every round by re-counting all theta sets and
+        re-subtracting every set containing any already-selected seed —
+        i.e. each round "reduc[es] counts in every identified RRRset"
+        (§IV-C's wording).  Per round that costs the whole store plus the
+        cumulatively covered entries, which is the only reading consistent
+        with the 11.6x-60.9x speedups Figure 5 reports at 128 cores (an
+        incremental decrement baseline would differ from the adaptive arm
+        by barely 2-3x).  Seeds are identical either way.
+    adaptive_policy:
+        Representation policy used to *charge* membership probes (bitmap
+        sets cost O(1), list sets O(log s)).  Defaults to EfficientIMM's
+        standard policy.
+    """
+    n = store.num_vertices
+    num_sets = len(store)
+    _check_select_args(store, k, num_threads)
+    policy = adaptive_policy if adaptive_policy is not None else AdaptivePolicy()
+    stats = KernelStats(num_threads)
+    sizes = store.sizes()
+    # RRRset partitioning: contiguous blocks of sets per thread (§IV-A).
+    owner = np.zeros(num_sets, dtype=np.int64)
+    for w, (s_lo, s_hi) in enumerate(block_partition(num_sets, num_threads)):
+        owner[s_lo:s_hi] = w
+    vertex_bounds = block_partition(n, num_threads)
+
+    # Per-set membership-probe charge under the adaptive representation.
+    is_bitmap = sizes > policy.threshold(n)
+    probe_cost = np.where(is_bitmap, 1.0, np.log2(np.maximum(sizes, 2)))
+
+    counts = (
+        initial_counter.astype(np.int64, copy=True)
+        if initial_counter is not None
+        else None
+    )
+    if counts is None:
+        counts = store.vertex_counts()
+        per_thread = np.bincount(
+            owner, weights=sizes.astype(np.float64), minlength=num_threads
+        )
+        stats.loads += per_thread
+        stats.atomics += per_thread
+        stats.sync_barriers += 1
+
+    offsets = store.offsets
+    active_sets = np.ones(num_sets, dtype=bool)
+    active_entries = np.ones(store.total_entries, dtype=bool)
+    chosen = np.zeros(n, dtype=bool)
+    seeds = np.empty(k, dtype=np.int64)
+    covered_total = 0
+    rounds: list[dict] = []
+    verts = store.vertices
+
+    def retire(set_list: np.ndarray) -> np.ndarray:
+        """Mark sets covered; return their concatenated entries.  Touches
+        only the covered sets' slices — the partition-local work the
+        RRRset-partitioned kernel actually does."""
+        chunks = []
+        for s in set_list.tolist():
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            active_entries[lo:hi] = False
+            chunks.append(verts[lo:hi])
+        if chunks:
+            return np.concatenate(chunks)
+        return np.empty(0, dtype=verts.dtype)
+
+    for rnd in range(k):
+        # --- two-step parallel reduction (charged: n/p loads + p serial) ---
+        v = int(np.argmax(counts))
+        stats.loads += np.array(
+            [hi - lo for lo, hi in vertex_bounds], dtype=np.float64
+        )
+        stats.serial_ops += num_threads
+        seeds[rnd] = v
+        chosen[v] = True
+
+        # --- membership scan over the thread-local partitions -------------
+        new_sets = segmented_membership(store, v, active_sets)
+        scan_charge = np.bincount(
+            owner[active_sets],
+            weights=probe_cost[active_sets],
+            minlength=num_threads,
+        )
+        stats.loads += scan_charge
+        stats.sync_barriers += 1
+
+        new_entry_count = int(sizes[new_sets].sum())
+        remaining_entries = int(active_entries.sum())
+        uncovered_entry_count = remaining_entries - new_entry_count
+        use_rebuild = adaptive_update and new_entry_count > uncovered_entry_count
+
+        # Retire the newly covered sets.
+        active_sets[new_sets] = False
+        dec = retire(new_sets)
+        covered_total += new_sets.size
+
+        if not adaptive_update:
+            # Figure 5's baseline arm: re-derive the counter from scratch —
+            # count every set, then subtract every covered set again.
+            counts = store.vertex_counts()
+            np.subtract.at(counts, verts[~active_entries], 1)
+            per_set_w = sizes.astype(np.float64)
+            charge = (
+                np.bincount(owner, weights=per_set_w, minlength=num_threads)
+                + np.bincount(
+                    owner[~active_sets],
+                    weights=per_set_w[~active_sets],
+                    minlength=num_threads,
+                )
+            )
+            stats.loads += charge
+            stats.atomics += charge
+        elif use_rebuild:
+            counts = _fresh_counts(store, active_entries)
+            charge = np.bincount(
+                owner[active_sets],
+                weights=sizes[active_sets].astype(np.float64),
+                minlength=num_threads,
+            )
+            stats.loads += charge
+            stats.atomics += charge
+        else:
+            np.subtract.at(counts, dec, 1)
+            charge = np.bincount(
+                owner[new_sets],
+                weights=sizes[new_sets].astype(np.float64),
+                minlength=num_threads,
+            )
+            stats.loads += charge
+            stats.atomics += charge
+        counts[chosen] = -1
+        stats.sync_barriers += 1
+
+        rounds.append(
+            {
+                "seed": v,
+                "new_covered_sets": int(new_sets.size),
+                "covered_entries": new_entry_count,
+                "method": (
+                    "recount" if not adaptive_update
+                    else "rebuild" if use_rebuild
+                    else "decrement"
+                ),
+            }
+        )
+        if covered_total >= num_sets and rnd + 1 < k:
+            # All sets covered: remaining seeds add nothing; fill with the
+            # lowest-id unchosen vertices (counts are all <= 0).
+            fill = np.flatnonzero(~chosen)[: k - rnd - 1]
+            seeds[rnd + 1 : rnd + 1 + fill.size] = fill
+            for fv in fill:
+                chosen[fv] = True
+                rounds.append(
+                    {"seed": int(fv), "new_covered_sets": 0,
+                     "covered_entries": 0, "method": "fill"}
+                )
+            break
+
+    coverage = covered_total / num_sets if num_sets else 0.0
+    return SelectionResult(
+        seeds=seeds, coverage_fraction=coverage, stats=stats, rounds=rounds
+    )
+
+
+# ================================================================= Ripples
+def ripples_select(
+    store: FlatRRRStore,
+    k: int,
+    num_threads: int = 1,
+) -> SelectionResult:
+    """Ripples' vertex-partitioned selection (the baseline of §II-B/§III).
+
+    Every thread owns a contiguous vertex range and its private counter
+    slice.  Counting and every post-pick update require each thread to
+    traverse **all** (remaining) sets — executed here as real redundant
+    passes over the flat store, one per thread, so the p-fold traffic the
+    paper measures is physically present.  Sets must be internally sorted
+    (``store.sort_sets`` at generation): both the range clipping and the
+    membership probes binary-search them.
+    """
+    n = store.num_vertices
+    num_sets = len(store)
+    _check_select_args(store, k, num_threads)
+    if not store.sort_sets:
+        raise ParameterError(
+            "ripples_select requires a store built with sort_sets=True"
+        )
+    stats = KernelStats(num_threads)
+    sizes = store.sizes()
+    offsets = store.offsets
+    verts = store.vertices
+    vertex_bounds = block_partition(n, num_threads)
+    log_sizes = np.log2(np.maximum(sizes, 2))
+
+    # ---- initial counting: p real passes over the whole store ------------
+    counts = np.zeros(n, dtype=np.int64)
+    for w, (v_lo, v_hi) in enumerate(vertex_bounds):
+        in_range = (verts >= v_lo) & (verts < v_hi)  # thread w reads all sets
+        counts += np.bincount(verts[in_range], minlength=n)
+        # Charge: binary-search bounds in every set + its in-range entries.
+        stats.loads[w] += float(log_sizes.sum() + in_range.sum())
+        stats.stores[w] += float(in_range.sum())
+    stats.sync_barriers += 1
+
+    active_sets = np.ones(num_sets, dtype=bool)
+    chosen = np.zeros(n, dtype=bool)
+    seeds = np.empty(k, dtype=np.int64)
+    covered_total = 0
+    rounds: list[dict] = []
+
+    for rnd in range(k):
+        # Thread-local maxima then serial merge (the reduction Ripples does).
+        v = int(np.argmax(counts))
+        stats.loads += np.array(
+            [hi - lo for lo, hi in vertex_bounds], dtype=np.float64
+        )
+        stats.serial_ops += num_threads
+        seeds[rnd] = v
+        chosen[v] = True
+
+        # Every thread probes every remaining set for v (log s each).
+        new_sets = segmented_membership(store, v, active_sets)
+        active_count = int(active_sets.sum())
+        stats.loads += float(log_sizes[active_sets].sum())  # per thread
+        stats.sync_barriers += 1
+
+        active_sets[new_sets] = False
+        covered_total += new_sets.size
+        dec_chunks = [
+            verts[offsets[s] : offsets[s + 1]] for s in new_sets.tolist()
+        ]
+        dec_all = (
+            np.concatenate(dec_chunks) if dec_chunks
+            else np.empty(0, dtype=verts.dtype)
+        )
+
+        # Decrement: each thread re-reads every covered set, updates its
+        # own slice — p real passes over the covered entries.
+        for w, (v_lo, v_hi) in enumerate(vertex_bounds):
+            mine = dec_all[(dec_all >= v_lo) & (dec_all < v_hi)]
+            np.subtract.at(counts, mine, 1)
+            stats.loads[w] += float(dec_all.size + log_sizes[new_sets].sum())
+            stats.stores[w] += float(mine.size)
+        counts[chosen] = -1
+        stats.sync_barriers += 1
+
+        rounds.append(
+            {
+                "seed": v,
+                "new_covered_sets": int(new_sets.size),
+                "covered_entries": int(sizes[new_sets].sum()),
+                "method": "decrement",
+                "active_sets_scanned": active_count,
+            }
+        )
+        if covered_total >= num_sets and rnd + 1 < k:
+            fill = np.flatnonzero(~chosen)[: k - rnd - 1]
+            seeds[rnd + 1 : rnd + 1 + fill.size] = fill
+            for fv in fill:
+                chosen[fv] = True
+                rounds.append(
+                    {"seed": int(fv), "new_covered_sets": 0,
+                     "covered_entries": 0, "method": "fill"}
+                )
+            break
+
+    coverage = covered_total / num_sets if num_sets else 0.0
+    return SelectionResult(
+        seeds=seeds, coverage_fraction=coverage, stats=stats, rounds=rounds
+    )
+
+
+def _check_select_args(store: FlatRRRStore, k: int, num_threads: int) -> None:
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    if k > store.num_vertices:
+        raise ParameterError(
+            f"k={k} exceeds the vertex count {store.num_vertices}"
+        )
+    if num_threads <= 0:
+        raise ParameterError(f"num_threads must be positive, got {num_threads}")
+    if len(store) == 0:
+        raise ParameterError("cannot select seeds from an empty RRR store")

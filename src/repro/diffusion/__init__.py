@@ -1,0 +1,23 @@
+"""Diffusion models: Independent Cascade and Linear Threshold.
+
+Provides both directions the reproduction needs:
+
+- **forward** Monte-Carlo simulation (:mod:`repro.diffusion.spread`) to
+  estimate the influence spread sigma(S) of a seed set — used to validate
+  end-to-end solution quality against the greedy reference;
+- **reverse** samplers (:class:`ICModel` / :class:`LTModel`) that draw one
+  random reverse-reachable (RRR) set, the primitive of IMM's sampling phase.
+"""
+
+from repro.diffusion.base import DiffusionModel, get_model
+from repro.diffusion.ic import ICModel
+from repro.diffusion.lt import LTModel
+from repro.diffusion.spread import estimate_spread
+
+__all__ = [
+    "DiffusionModel",
+    "ICModel",
+    "LTModel",
+    "get_model",
+    "estimate_spread",
+]

@@ -1,0 +1,78 @@
+"""Common interface for diffusion models.
+
+A diffusion model supplies two sampling primitives:
+
+- :meth:`DiffusionModel.forward_sample` — simulate one cascade from a seed
+  set, returning the activated vertices (defines sigma(S) by expectation);
+- :meth:`DiffusionModel.reverse_sample` — draw one random reverse-reachable
+  set rooted at a given vertex, the equivalence on which RIS/IMM rests: the
+  probability that S intersects a random RRR set equals sigma(S) / n.
+
+Implementations keep reusable scratch buffers (epoch-stamped visited arrays)
+so drawing many samples does not re-zero O(n) memory each time — the Python
+analogue of the per-thread scratch both C++ frameworks maintain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DiffusionModel", "get_model"]
+
+
+class DiffusionModel(ABC):
+    """Base class binding a model to one weighted graph."""
+
+    #: Short name ("IC" or "LT"); used in reports and the CLI.
+    name: str = "?"
+
+    def __init__(self, graph: CSRGraph):
+        self.graph = graph
+        self.reverse_graph = graph.transpose()
+        n = graph.num_vertices
+        # Epoch-stamped visited array: "visited in the current sample" is
+        # (stamp == epoch); bumping the epoch invalidates everything in O(1).
+        self._stamp = np.zeros(n, dtype=np.int64)
+        self._epoch = 0
+
+    # ------------------------------------------------------------ sampling
+    def _next_epoch(self) -> int:
+        self._epoch += 1
+        return self._epoch
+
+    @abstractmethod
+    def reverse_sample(
+        self, root: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one RRR set rooted at ``root``; returns vertex ids
+        (``int32``, unsorted, root included, no duplicates)."""
+
+    @abstractmethod
+    def forward_sample(
+        self, seeds: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Simulate one cascade from ``seeds``; returns activated vertex ids
+        (seeds included, no duplicates)."""
+
+    # ------------------------------------------------------------- helpers
+    def random_root(self, rng: np.random.Generator) -> int:
+        """Uniform random RRR root, as prescribed by RIS."""
+        return int(rng.integers(0, self.graph.num_vertices))
+
+
+def get_model(name: str, graph: CSRGraph) -> DiffusionModel:
+    """Factory: ``"IC"`` or ``"LT"`` (case-insensitive) bound to ``graph``."""
+    from repro.diffusion.ic import ICModel
+    from repro.diffusion.lt import LTModel
+
+    key = name.upper()
+    if key == "IC":
+        return ICModel(graph)
+    if key == "LT":
+        return LTModel(graph)
+    raise ParameterError(f"unknown diffusion model {name!r} (use 'IC' or 'LT')")

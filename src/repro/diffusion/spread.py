@@ -1,0 +1,51 @@
+"""Monte-Carlo influence-spread estimation.
+
+sigma(S) is defined as the expected number of vertices activated by a cascade
+seeded at S.  The estimator here simply averages forward simulations; it is
+the ground truth used to (a) validate that IMM's seed sets achieve their
+``(1 - 1/e - eps)`` guarantee relative to the greedy reference and (b) rank
+seed-set quality in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.diffusion.base import DiffusionModel
+
+__all__ = ["SpreadEstimate", "estimate_spread"]
+
+
+@dataclass(frozen=True)
+class SpreadEstimate:
+    """Mean spread with a standard error, from ``num_samples`` cascades."""
+
+    mean: float
+    stderr: float
+    num_samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI (default 95%)."""
+        return self.mean - z * self.stderr, self.mean + z * self.stderr
+
+
+def estimate_spread(
+    model: DiffusionModel,
+    seeds: np.ndarray,
+    *,
+    num_samples: int = 200,
+    seed=None,
+) -> SpreadEstimate:
+    """Estimate sigma(seeds) by averaging forward cascade sizes."""
+    check_positive_int("num_samples", num_samples)
+    seeds = np.asarray(seeds, dtype=np.int64).ravel()
+    rng = as_rng(seed)
+    sizes = np.empty(num_samples)
+    for i in range(num_samples):
+        sizes[i] = model.forward_sample(seeds, rng).size
+    mean = float(sizes.mean())
+    stderr = float(sizes.std(ddof=1) / np.sqrt(num_samples)) if num_samples > 1 else 0.0
+    return SpreadEstimate(mean=mean, stderr=stderr, num_samples=num_samples)

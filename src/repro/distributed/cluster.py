@@ -1,0 +1,95 @@
+"""Cluster topology: N nodes of the paper's machine plus an interconnect.
+
+The interconnect is the standard alpha-beta (latency + inverse-bandwidth)
+model with tree-structured collectives — the textbook cost model for MPI
+performance analysis (Hockney; Thakur et al.).  Constants default to
+Perlmutter's Slingshot-11 numbers from public NERSC documentation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.simmachine.topology import MachineTopology, perlmutter
+
+__all__ = ["ClusterTopology", "perlmutter_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """``num_nodes`` identical shared-memory nodes plus a network.
+
+    ``alpha_s`` is the per-message latency (seconds), ``beta_s_per_byte``
+    the inverse bandwidth of one NIC.
+    """
+
+    name: str
+    num_nodes: int
+    node: MachineTopology
+    alpha_s: float
+    beta_s_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ParameterError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.alpha_s < 0 or self.beta_s_per_byte < 0:
+            raise ParameterError("network constants must be non-negative")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.num_cores
+
+    # ------------------------------------------------------------ collectives
+    def _tree_depth(self, participants: int) -> int:
+        return max(int(math.ceil(math.log2(max(participants, 1)))), 1) if participants > 1 else 0
+
+    def point_to_point_s(self, nbytes: int) -> float:
+        """One message of ``nbytes`` between two nodes."""
+        return self.alpha_s + nbytes * self.beta_s_per_byte
+
+    def allreduce_s(self, nbytes: int, participants: int | None = None) -> float:
+        """Rabenseifner-style allreduce: reduce-scatter + allgather.
+
+        ``2 * log2(P) * alpha + 2 * (P-1)/P * n * beta`` — the standard
+        large-message bound.
+        """
+        p = participants or self.num_nodes
+        if p <= 1:
+            return 0.0
+        return (
+            2.0 * self._tree_depth(p) * self.alpha_s
+            + 2.0 * (p - 1) / p * nbytes * self.beta_s_per_byte
+        )
+
+    def bcast_s(self, nbytes: int, participants: int | None = None) -> float:
+        """Binomial-tree broadcast."""
+        p = participants or self.num_nodes
+        if p <= 1:
+            return 0.0
+        return self._tree_depth(p) * (
+            self.alpha_s + nbytes * self.beta_s_per_byte
+        )
+
+    def gather_s(self, nbytes_per_rank: int, participants: int | None = None) -> float:
+        """Gather to one root: the root's NIC serialises (P-1) payloads."""
+        p = participants or self.num_nodes
+        if p <= 1:
+            return 0.0
+        return (
+            self._tree_depth(p) * self.alpha_s
+            + (p - 1) * nbytes_per_rank * self.beta_s_per_byte
+        )
+
+
+def perlmutter_cluster(num_nodes: int) -> ClusterTopology:
+    """``num_nodes`` Perlmutter CPU nodes on Slingshot-11 (~2 us latency,
+    ~25 GB/s injection bandwidth per NIC)."""
+    return ClusterTopology(
+        name=f"perlmutter-{num_nodes}n",
+        num_nodes=num_nodes,
+        node=perlmutter(),
+        alpha_s=2.0e-6,
+        beta_s_per_byte=1.0 / 25e9,
+    )

@@ -1,0 +1,108 @@
+"""Simulated bulk-synchronous communicator with mpi4py-shaped collectives.
+
+Distributed IMM is bulk-synchronous (sample - reduce - select - repeat), so
+a full MPI runtime is unnecessary: the driver holds every rank's state and
+calls collectives that (a) really combine the per-rank numpy buffers — so
+results are exact, not modelled — and (b) charge the alpha-beta cost of the
+equivalent wire traffic to a running clock.
+
+The method names and buffer conventions deliberately mirror mpi4py's
+capital-letter (buffer-based) API so a future port to real ``mpi4py`` is a
+mechanical substitution — per the paper's future-work framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.cluster import ClusterTopology
+from repro.errors import ParameterError
+
+__all__ = ["CommStats", "SimulatedComm"]
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication accounting for one simulated world."""
+
+    num_collectives: int = 0
+    bytes_on_wire: float = 0.0
+    comm_time_s: float = 0.0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, nbytes: float, seconds: float) -> None:
+        self.num_collectives += 1
+        self.bytes_on_wire += nbytes
+        self.comm_time_s += seconds
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class SimulatedComm:
+    """A world of ``size`` ranks over a :class:`ClusterTopology`."""
+
+    def __init__(self, cluster: ClusterTopology):
+        self.cluster = cluster
+        self.size = cluster.num_nodes
+        self.stats = CommStats()
+
+    # ------------------------------------------------------------ helpers
+    def _check_world(self, buffers: list) -> None:
+        if len(buffers) != self.size:
+            raise ParameterError(
+                f"expected one buffer per rank ({self.size}), got {len(buffers)}"
+            )
+
+    # -------------------------------------------------------- collectives
+    def Allreduce_sum(self, buffers: list[np.ndarray]) -> np.ndarray:
+        """Element-wise sum across ranks; every rank receives the result.
+
+        Returns the reduced array (callers treat it as each rank's receive
+        buffer; integer addition commutes, so this is exact).
+        """
+        self._check_world(buffers)
+        shapes = {b.shape for b in buffers}
+        if len(shapes) != 1:
+            raise ParameterError(f"allreduce buffers disagree on shape: {shapes}")
+        total = buffers[0].copy()
+        for b in buffers[1:]:
+            total += b
+        nbytes = total.nbytes
+        self.stats.record(
+            "allreduce", nbytes, self.cluster.allreduce_s(nbytes, self.size)
+        )
+        return total
+
+    def Allreduce_max(self, buffers: list[np.ndarray]) -> np.ndarray:
+        """Element-wise max across ranks (used for the reduction step)."""
+        self._check_world(buffers)
+        out = buffers[0].copy()
+        for b in buffers[1:]:
+            np.maximum(out, b, out=out)
+        nbytes = out.nbytes
+        self.stats.record(
+            "allreduce", nbytes, self.cluster.allreduce_s(nbytes, self.size)
+        )
+        return out
+
+    def Bcast(self, buffer: np.ndarray) -> np.ndarray:
+        """Broadcast the root's buffer to all ranks."""
+        nbytes = buffer.nbytes
+        self.stats.record("bcast", nbytes, self.cluster.bcast_s(nbytes, self.size))
+        return buffer
+
+    def Gather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Gather every rank's buffer at the root."""
+        self._check_world(buffers)
+        per_rank = max((b.nbytes for b in buffers), default=0)
+        self.stats.record(
+            "gather",
+            float(sum(b.nbytes for b in buffers)),
+            self.cluster.gather_s(per_rank, self.size),
+        )
+        return [b.copy() for b in buffers]
+
+    def Barrier(self) -> None:
+        """Synchronise all ranks (one zero-byte allreduce)."""
+        self.stats.record("barrier", 0.0, self.cluster.allreduce_s(8, self.size))

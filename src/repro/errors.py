@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate on the specific failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphFormatError(ReproError):
+    """An input edge list or graph file is malformed."""
+
+
+class GraphConstructionError(ReproError):
+    """A graph could not be built from the supplied arrays or edges."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its valid domain (e.g. ``k > |V|``)."""
+
+
+class DatasetError(ReproError):
+    """A named dataset is unknown or could not be materialised."""
+
+
+class BackendError(ReproError):
+    """A parallel execution backend failed or was misconfigured."""
+
+
+class OutOfMemoryModelError(ReproError):
+    """The modelled memory footprint exceeded the configured budget.
+
+    This is the reproduction of the paper's Table III ``OOM`` entry: the
+    Ripples baseline exceeds its memory budget on the Twitter7 workload while
+    EfficientIMM's adaptive representation fits.  It is raised by the sketch
+    store's footprint accounting, never by the host OS.
+    """
+
+    def __init__(self, required_bytes: int, budget_bytes: int, what: str = "RRR store"):
+        self.required_bytes = int(required_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.what = what
+        super().__init__(
+            f"{what} requires {required_bytes:,} bytes "
+            f"but the modelled budget is {budget_bytes:,} bytes"
+        )
+
+
+class SimulationError(ReproError):
+    """The machine simulator was driven with inconsistent state."""

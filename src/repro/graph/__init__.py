@@ -1,0 +1,43 @@
+"""Graph substrate: CSR storage, I/O, generators, weights, structure analysis.
+
+This package is the self-contained graph engine the reproduction runs on.
+The central type is :class:`~repro.graph.csr.CSRGraph`, a compressed sparse
+row directed graph with per-edge probabilities/weights, plus:
+
+- :mod:`repro.graph.builder` — edge-list cleanup and CSR construction,
+- :mod:`repro.graph.io` — SNAP edge-list and ``.npz`` formats,
+- :mod:`repro.graph.generators` — vectorised synthetic graph generators,
+- :mod:`repro.graph.weights` — IC / LT edge-weight schemes,
+- :mod:`repro.graph.properties` — SCC/WCC, degree statistics, skew,
+- :mod:`repro.graph.datasets` — the registry of scaled SNAP replicas.
+"""
+
+from repro.graph.builder import GraphBuilder, from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    planted_partition,
+    random_geometric,
+    rmat,
+    watts_strogatz,
+)
+from repro.graph.weights import assign_ic_weights, assign_lt_weights
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edge_array",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "rmat",
+    "barabasi_albert",
+    "erdos_renyi",
+    "watts_strogatz",
+    "planted_partition",
+    "random_geometric",
+    "assign_ic_weights",
+    "assign_lt_weights",
+]

@@ -1,0 +1,162 @@
+"""Edge-list cleanup and CSR construction.
+
+Raw edge lists (SNAP files, generator output) may contain duplicate edges,
+self-loops, gaps in the vertex id space, or unsorted rows.  The builder
+normalises all of that into a canonical :class:`~repro.graph.csr.CSRGraph`:
+
+- vertex ids are relabelled to a dense ``0..n-1`` range,
+- duplicate ``(u, v)`` edges are collapsed (keeping the first probability),
+- self-loops are dropped (they carry no influence),
+- adjacency rows are sorted by neighbour id (both frameworks sort rows so
+  binary search on adjacency is possible).
+
+Everything is vectorised; there is no per-edge Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graph.csr import OFFSET_DTYPE, PROB_DTYPE, VERTEX_DTYPE, CSRGraph
+
+__all__ = ["GraphBuilder", "from_edge_array"]
+
+
+@dataclass
+class GraphBuilder:
+    """Accumulates edges and produces a canonical :class:`CSRGraph`.
+
+    Parameters
+    ----------
+    relabel:
+        When true (default), vertex ids are remapped to a dense range in
+        order of first appearance of the *sorted unique* ids; the mapping is
+        exposed as :attr:`vertex_labels` after :meth:`build`.
+    drop_self_loops / dedup:
+        Normalisation toggles; both default to true.
+    """
+
+    relabel: bool = True
+    drop_self_loops: bool = True
+    dedup: bool = True
+    default_prob: float = 1.0
+    vertex_labels: np.ndarray | None = field(default=None, init=False)
+    _src: list[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    _dst: list[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    _prob: list[np.ndarray] = field(default_factory=list, init=False, repr=False)
+
+    def add_edges(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        probs: np.ndarray | float | None = None,
+    ) -> "GraphBuilder":
+        """Append a batch of edges; arrays must be 1-D and equal length."""
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise GraphConstructionError(
+                f"src/dst length mismatch: {src.shape} vs {dst.shape}"
+            )
+        if probs is None:
+            probs = np.full(src.shape, self.default_prob, dtype=PROB_DTYPE)
+        elif np.isscalar(probs):
+            probs = np.full(src.shape, float(probs), dtype=PROB_DTYPE)
+        else:
+            probs = np.asarray(probs, dtype=PROB_DTYPE).ravel()
+            if probs.shape != src.shape:
+                raise GraphConstructionError("probs length mismatch with edges")
+        self._src.append(src)
+        self._dst.append(dst)
+        self._prob.append(probs)
+        return self
+
+    def add_edge(self, u: int, v: int, p: float | None = None) -> "GraphBuilder":
+        """Convenience scalar form of :meth:`add_edges`."""
+        return self.add_edges(
+            np.array([u]), np.array([v]), None if p is None else np.array([p])
+        )
+
+    def build(self, num_vertices: int | None = None) -> CSRGraph:
+        """Normalise the accumulated edges and emit the CSR graph.
+
+        ``num_vertices`` forces the vertex-space size (ids must fit); when
+        omitted it is inferred as ``max(id) + 1`` (or the dense relabelled
+        count when ``relabel`` is on).
+        """
+        if self._src:
+            src = np.concatenate(self._src)
+            dst = np.concatenate(self._dst)
+            prob = np.concatenate(self._prob)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            prob = np.empty(0, dtype=PROB_DTYPE)
+
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphConstructionError("negative vertex id in edge list")
+
+        if self.drop_self_loops and src.size:
+            keep = src != dst
+            src, dst, prob = src[keep], dst[keep], prob[keep]
+
+        if self.relabel:
+            if src.size:
+                labels, inverse = np.unique(
+                    np.concatenate([src, dst]), return_inverse=True
+                )
+                src = inverse[: src.size]
+                dst = inverse[src.size :]
+                self.vertex_labels = labels
+                inferred_n = labels.size
+            else:
+                self.vertex_labels = np.empty(0, dtype=np.int64)
+                inferred_n = 0
+        else:
+            inferred_n = int(max(src.max(), dst.max()) + 1) if src.size else 0
+
+        n = inferred_n if num_vertices is None else int(num_vertices)
+        if src.size and max(src.max(), dst.max()) >= n:
+            raise GraphConstructionError(
+                f"vertex id exceeds requested num_vertices={n}"
+            )
+
+        if src.size:
+            # Sort by (src, dst): groups rows and sorts each row's neighbours.
+            order = np.lexsort((dst, src))
+            src, dst, prob = src[order], dst[order], prob[order]
+            if self.dedup:
+                keep = np.ones(src.size, dtype=bool)
+                keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+                src, dst, prob = src[keep], dst[keep], prob[keep]
+
+        counts = np.bincount(src, minlength=n).astype(OFFSET_DTYPE)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return CSRGraph(
+            n, indptr, dst.astype(VERTEX_DTYPE), prob.astype(PROB_DTYPE)
+        )
+
+
+def from_edge_array(
+    src: np.ndarray,
+    dst: np.ndarray,
+    probs: np.ndarray | float | None = None,
+    *,
+    num_vertices: int | None = None,
+    relabel: bool = False,
+    make_undirected: bool = False,
+) -> CSRGraph:
+    """One-shot CSR construction from aligned edge arrays.
+
+    ``make_undirected=True`` adds the reversed copy of every edge (SNAP's
+    ``com-*`` community graphs are undirected and are consumed this way by
+    both frameworks).
+    """
+    b = GraphBuilder(relabel=relabel)
+    b.add_edges(src, dst, probs)
+    if make_undirected:
+        b.add_edges(dst, src, probs)
+    return b.build(num_vertices=num_vertices)

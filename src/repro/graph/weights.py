@@ -1,0 +1,103 @@
+"""Edge-weight schemes for the IC and LT diffusion models.
+
+The paper's dataset preparation (§V-A) is reproduced exactly:
+
+- **IC**: every edge gets an independent activation probability drawn
+  uniformly from ``[0, 1]`` (:func:`assign_ic_weights`, ``scheme="uniform"``).
+  The classic *weighted-cascade* (``1/indegree``) and *trivalency*
+  ``{0.1, 0.01, 0.001}`` schemes from the IM literature are provided for the
+  examples and ablations.
+- **LT**: weights are normalised so that, per vertex ``v``, the incoming
+  weights plus the probability of activating no neighbour sum to one
+  (:func:`assign_lt_weights`), i.e. ``sum_u w_uv <= 1`` with the slack being
+  the "no activation" mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_fraction
+from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["assign_ic_weights", "assign_lt_weights", "lt_incoming_weight_sums"]
+
+_TRIVALENCY = np.array([0.1, 0.01, 0.001])
+
+
+def assign_ic_weights(
+    graph: CSRGraph,
+    *,
+    scheme: str = "uniform",
+    seed=None,
+    scale: float = 1.0,
+) -> CSRGraph:
+    """Return a copy of ``graph`` carrying IC activation probabilities.
+
+    Parameters
+    ----------
+    scheme:
+        ``"uniform"`` — iid U[0, 1] per edge, scaled by ``scale`` (the
+        paper's setup with ``scale=1``); ``"weighted_cascade"`` — ``p_uv =
+        1 / indeg(v)``; ``"trivalency"`` — uniform choice from
+        ``{0.1, 0.01, 0.001}``; ``"constant"`` — every edge gets ``scale``.
+    scale:
+        Multiplier applied to uniform draws (or the constant itself).  Kept
+        in ``(0, 1]`` so results remain valid probabilities.
+    """
+    check_fraction("scale", scale)
+    rng = as_rng(seed)
+    m = graph.num_edges
+    if scheme == "uniform":
+        probs = rng.random(m) * scale
+    elif scheme == "constant":
+        probs = np.full(m, scale)
+    elif scheme == "trivalency":
+        probs = rng.choice(_TRIVALENCY, size=m)
+    elif scheme == "weighted_cascade":
+        indeg = np.bincount(graph.indices, minlength=graph.num_vertices)
+        probs = 1.0 / np.maximum(indeg[graph.indices], 1)
+    else:
+        raise ParameterError(f"unknown IC weight scheme {scheme!r}")
+    return graph.with_probs(probs)
+
+
+def assign_lt_weights(
+    graph: CSRGraph,
+    *,
+    seed=None,
+    total_incoming: float = 1.0,
+) -> CSRGraph:
+    """Return a copy of ``graph`` with LT weights normalised per target.
+
+    For each vertex ``v`` with in-degree ``d``, incoming edge weights are
+    random positive values rescaled so they sum to ``total_incoming * U_v``
+    where ``U_v ~ U[0, 1]``; the remaining ``1 - sum`` is the probability of
+    no activation — the construction described in §V-A ("weights are
+    adjusted so that the probabilities of either activating a neighbor or
+    activating none sum to one").
+    """
+    check_fraction("total_incoming", total_incoming)
+    rng = as_rng(seed)
+    n, m = graph.num_vertices, graph.num_edges
+    raw = rng.random(m) + 1e-12  # strictly positive so sums are well defined
+    # Sum the raw weights per *target* vertex, then rescale each edge.
+    sums = np.zeros(n)
+    np.add.at(sums, graph.indices, raw)
+    target_mass = rng.random(n) * total_incoming
+    factor = np.divide(
+        target_mass, sums, out=np.zeros_like(sums), where=sums > 0.0
+    )
+    return graph.with_probs(raw * factor[graph.indices])
+
+
+def lt_incoming_weight_sums(graph: CSRGraph) -> np.ndarray:
+    """Per-vertex sum of incoming LT weights (must be ``<= 1`` everywhere).
+
+    Exposed for validation and property tests of the LT constraint
+    ``sum_{u:(u,v) in E} w_uv <= 1``.
+    """
+    sums = np.zeros(graph.num_vertices)
+    np.add.at(sums, graph.indices, graph.probs)
+    return sums

@@ -1,0 +1,37 @@
+"""Parallel runtime substrate: partitioning, atomics, work queues, backends.
+
+This package provides the execution machinery both IMM implementations run
+on:
+
+- :mod:`repro.runtime.partition` — static block/cyclic partitioners and the
+  weighted balanced partitioner;
+- :mod:`repro.runtime.atomic` — the atomic counter-array abstraction
+  (modelling the paper's 64-bit ``lock incq`` updates);
+- :mod:`repro.runtime.workqueue` — dynamic job balancing: chunked
+  producer-consumer queues with stealing, plus the deterministic list
+  scheduler the cost model uses;
+- :mod:`repro.runtime.backends` — serial and multiprocessing execution
+  backends (process-based because the CPython GIL forbids shared-memory
+  thread parallelism; see DESIGN.md's substitution table).
+"""
+
+from repro.runtime.atomic import AtomicCounterArray
+from repro.runtime.backends import ExecutionBackend, MultiprocessBackend, SerialBackend
+from repro.runtime.partition import (
+    balanced_partition,
+    block_partition,
+    cyclic_partition,
+)
+from repro.runtime.workqueue import ChunkedWorkQueue, simulate_schedule
+
+__all__ = [
+    "AtomicCounterArray",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "block_partition",
+    "cyclic_partition",
+    "balanced_partition",
+    "ChunkedWorkQueue",
+    "simulate_schedule",
+]

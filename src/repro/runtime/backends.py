@@ -1,0 +1,115 @@
+"""Execution backends: serial reference and fork-based multiprocessing.
+
+The CPython GIL forbids the shared-memory *thread* parallelism the paper's
+C++/OpenMP code uses, so real parallel execution here is process-based
+(DESIGN.md substitution table): workers are forked, the read-only graph
+arrays are shared copy-on-write, and per-worker results are reduced at a
+barrier.  That preserves the algorithms' partitioning and reduction
+structure; the 1..128-thread *scaling* experiments instead run on the
+simulated machine (:mod:`repro.simmachine`), which is not limited by host
+core count.
+
+The backend interface is deliberately tiny — ``run_tasks(worker_fn, tasks)``
+with an optional per-process initializer — because both frameworks'
+parallel sections reduce to "map independent work, then reduce".
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+from repro.errors import BackendError
+
+__all__ = ["ExecutionBackend", "SerialBackend", "MultiprocessBackend", "make_backend"]
+
+
+class ExecutionBackend(ABC):
+    """Minimal map-style execution interface."""
+
+    #: Number of workers the backend actually uses.
+    num_workers: int = 1
+
+    @abstractmethod
+    def run_tasks(
+        self,
+        worker_fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+    ) -> list[Any]:
+        """Apply ``worker_fn`` to every task; results keep task order."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run everything inline; the reference for correctness tests."""
+
+    num_workers = 1
+
+    def run_tasks(self, worker_fn, tasks):
+        return [worker_fn(t) for t in tasks]
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Fork-pool backend sharing read-only state copy-on-write.
+
+    Parameters
+    ----------
+    num_workers:
+        Process count; defaults to ``os.cpu_count()``.
+    initializer / initargs:
+        Run once in each worker process (e.g. to install the graph into a
+        module-level slot so tasks only carry small descriptors).
+    """
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ):
+        import multiprocessing as mp
+
+        if num_workers is not None and num_workers <= 0:
+            raise BackendError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise BackendError("fork start method unavailable on this host") from exc
+        self._pool = ctx.Pool(
+            self.num_workers, initializer=initializer, initargs=initargs
+        )
+
+    def run_tasks(self, worker_fn, tasks):
+        if self._pool is None:
+            raise BackendError("backend already closed")
+        return self._pool.map(worker_fn, list(tasks))
+
+    def close(self) -> None:
+        if getattr(self, "_pool", None) is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_backend(
+    name: str,
+    num_workers: int | None = None,
+    **kwargs,
+) -> ExecutionBackend:
+    """Factory: ``"serial"`` or ``"multiprocess"``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "multiprocess":
+        return MultiprocessBackend(num_workers, **kwargs)
+    raise BackendError(f"unknown backend {name!r}")

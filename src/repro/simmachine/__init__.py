@@ -1,0 +1,42 @@
+"""Simulated multi-NUMA shared-memory machine.
+
+The paper's evaluation platform is a dual-socket 128-core EPYC 7763 with 8
+NUMA nodes; its scaling and hardware-counter experiments cannot run on this
+environment (single host core, CPython GIL).  Per DESIGN.md's substitution
+table, this package provides the machine *model* those experiments run on:
+
+- :mod:`repro.simmachine.topology` — machine descriptions (sockets, NUMA
+  nodes, cores, cache geometry, latencies, bandwidths) with presets for the
+  paper's Perlmutter node and the original Ripples 10-core testbed;
+- :mod:`repro.simmachine.cache` — set-associative LRU L1/L2 simulation fed
+  by real kernel address streams (Table IV);
+- :mod:`repro.simmachine.layout` — virtual address assignment for the
+  kernels' arrays and page→NUMA-node placement policies (Table II);
+- :mod:`repro.simmachine.instrumented` — drivers that replay the selection
+  and sampling kernels as per-thread memory traces;
+- :mod:`repro.simmachine.cost` — the analytic cost model that turns
+  per-thread :class:`~repro.core.params.KernelStats` into simulated parallel
+  runtimes for 1..128 threads (Figures 1, 2, 6, 7; Table III).
+
+The model's honesty contract: all *workload-dependent* inputs (operation
+counts, access streams, load balance) come from executing the real
+algorithms; the machine parameters (latencies, bandwidths, cache shapes)
+are fixed constants from public hardware documentation.  No curve is fit to
+the paper's outputs.
+"""
+
+from repro.simmachine.cache import CacheHierarchy, CacheSim
+from repro.simmachine.cost import CostModel, ScalingCurve
+from repro.simmachine.layout import MemoryLayout, NumaPlacement
+from repro.simmachine.topology import CacheGeometry, MachineTopology
+
+__all__ = [
+    "MachineTopology",
+    "CacheGeometry",
+    "CacheSim",
+    "CacheHierarchy",
+    "MemoryLayout",
+    "NumaPlacement",
+    "CostModel",
+    "ScalingCurve",
+]

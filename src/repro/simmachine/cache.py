@@ -1,0 +1,142 @@
+"""Set-associative LRU cache simulation (L1 + L2 per core).
+
+Fed with the *real* address streams the kernels generate
+(:mod:`repro.simmachine.instrumented`), this produces the L1+L2 miss counts
+of Table IV.  Two implementation notes:
+
+- **Line compression.**  Consecutive accesses to the same cache line are
+  guaranteed L1 hits under LRU, so the simulator collapses them up front and
+  credits them as hits analytically; only line-changing accesses walk the
+  tag arrays.  This is exact, not an approximation, and it is what makes
+  simulating multi-hundred-thousand-access streams practical in Python.
+- **Dict-based LRU sets.**  Each set is an insertion-ordered dict of tags
+  (Python dicts preserve order); a hit reinserts its tag, a miss evicts the
+  oldest.  O(1) per access with small constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simmachine.topology import CacheGeometry
+
+__all__ = ["AccessCounts", "CacheSim", "CacheHierarchy", "compress_lines"]
+
+
+@dataclass
+class AccessCounts:
+    """Hit/miss tallies for a two-level hierarchy."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    @property
+    def total_misses(self) -> int:
+        """The paper's Table IV metric: L1 misses + L2 misses."""
+        return self.l1_misses + self.l2_misses
+
+    def merge(self, other: "AccessCounts") -> "AccessCounts":
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        return self
+
+
+def compress_lines(addresses: np.ndarray, line_bytes: int) -> tuple[np.ndarray, int]:
+    """Collapse runs of same-line accesses.
+
+    Returns ``(line_ids, collapsed)`` where ``collapsed`` is the number of
+    dropped accesses (all guaranteed LRU hits).
+    """
+    addrs = np.asarray(addresses, dtype=np.int64).ravel()
+    if addrs.size == 0:
+        return addrs, 0
+    shift = int(line_bytes).bit_length() - 1
+    lines = addrs >> shift
+    keep = np.ones(lines.size, dtype=bool)
+    keep[1:] = lines[1:] != lines[:-1]
+    kept = lines[keep]
+    return kept, int(lines.size - kept.size)
+
+
+class CacheSim:
+    """One cache level: ``geometry.num_sets`` LRU sets of ``ways`` lines."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self._sets: list[dict[int, None]] = [
+            {} for _ in range(geometry.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Simulate line-granular accesses; returns the missed lines, in
+        order (the stream forwarded to the next level)."""
+        num_sets = self.geometry.num_sets
+        ways = self.geometry.ways
+        sets = self._sets
+        missed: list[int] = []
+        hits = 0
+        for line in lines.tolist():
+            s = sets[line % num_sets]
+            if line in s:
+                # Refresh recency: move to the back of the insertion order.
+                del s[line]
+                s[line] = None
+                hits += 1
+            else:
+                missed.append(line)
+                s[line] = None
+                if len(s) > ways:
+                    s.pop(next(iter(s)))
+        self.hits += hits
+        self.misses += len(missed)
+        return np.asarray(missed, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._sets = [{} for _ in range(self.geometry.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class CacheHierarchy:
+    """Private L1 + L2 of one core; inclusive-miss forwarding."""
+
+    l1_geom: CacheGeometry
+    l2_geom: CacheGeometry
+    counts: AccessCounts = field(default_factory=AccessCounts)
+
+    def __post_init__(self) -> None:
+        self._l1 = CacheSim(self.l1_geom)
+        self._l2 = CacheSim(self.l2_geom)
+
+    def access(self, addresses: np.ndarray) -> AccessCounts:
+        """Run a byte-address stream through L1 then L2; returns the tallies
+        for *this call* (cumulative state lives in ``self.counts``)."""
+        lines, collapsed = compress_lines(addresses, self.l1_geom.line_bytes)
+        local = AccessCounts()
+        local.l1_hits += collapsed
+        l1_missed = self._l1.access_lines(lines)
+        local.l1_hits += int(lines.size - l1_missed.size)
+        local.l1_misses += int(l1_missed.size)
+        l2_missed = self._l2.access_lines(l1_missed)
+        local.l2_hits += int(l1_missed.size - l2_missed.size)
+        local.l2_misses += int(l2_missed.size)
+        self.counts.merge(
+            AccessCounts(
+                local.l1_hits, local.l1_misses, local.l2_hits, local.l2_misses
+            )
+        )
+        return local
+
+    def reset(self) -> None:
+        self._l1.reset()
+        self._l2.reset()
+        self.counts = AccessCounts()

@@ -1,0 +1,129 @@
+"""Virtual address layout and NUMA page placement policies.
+
+The instrumented kernels address their arrays through a
+:class:`MemoryLayout`, which assigns each named array a page-aligned virtual
+range; a :class:`NumaPlacement` then maps every 4 KiB page to a home NUMA
+node under one of the policies the paper contrasts:
+
+- ``"bind"``      — all pages on one node (the unmanaged default that
+  concentrates traffic, §IV-B's "original data structure");
+- ``"interleave"`` — pages round-robin across nodes (``numactl -i``);
+- ``"local"``     — per-worker arrays homed on the owner's node (the
+  ``mbind`` + local-caching strategy of EfficientIMM's NUMA-aware design);
+- ``"first_touch"`` — homed on the node of the first registered toucher
+  (Linux's default policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simmachine.topology import MachineTopology
+
+__all__ = ["MemoryLayout", "NumaPlacement", "PAGE_BYTES"]
+
+PAGE_BYTES = 4096
+
+
+@dataclass
+class _Region:
+    name: str
+    base: int
+    nbytes: int
+    policy: str
+    home: int  # node for "bind"/"first_touch"; owner node for "local"
+
+
+@dataclass
+class MemoryLayout:
+    """Allocates page-aligned virtual ranges for named arrays."""
+
+    _next_base: int = PAGE_BYTES  # keep 0 unmapped, as a canary
+    regions: dict[str, _Region] = field(default_factory=dict)
+
+    def allocate(
+        self,
+        name: str,
+        nbytes: int,
+        *,
+        policy: str = "interleave",
+        home: int = 0,
+    ) -> int:
+        """Reserve ``nbytes`` for ``name``; returns the base address."""
+        if name in self.regions:
+            raise SimulationError(f"region {name!r} already allocated")
+        if nbytes < 0:
+            raise SimulationError(f"negative region size for {name!r}")
+        if policy not in ("bind", "interleave", "local", "first_touch"):
+            raise SimulationError(f"unknown placement policy {policy!r}")
+        base = self._next_base
+        pages = max((nbytes + PAGE_BYTES - 1) // PAGE_BYTES, 1)
+        self._next_base = base + pages * PAGE_BYTES
+        self.regions[name] = _Region(name, base, nbytes, policy, home)
+        return base
+
+    def base(self, name: str) -> int:
+        return self.regions[name].base
+
+    def element_addresses(
+        self, name: str, indices: np.ndarray, itemsize: int
+    ) -> np.ndarray:
+        """Byte addresses of ``array[indices]`` for a region's array."""
+        region = self.regions[name]
+        idx = np.asarray(indices, dtype=np.int64)
+        return region.base + idx * itemsize
+
+    def region_of(self, addresses: np.ndarray) -> list[_Region]:
+        """Resolve each address to its region (tests/diagnostics)."""
+        out = []
+        for a in np.asarray(addresses, dtype=np.int64).ravel().tolist():
+            hit = None
+            for r in self.regions.values():
+                if r.base <= a < r.base + max(r.nbytes, 1):
+                    hit = r
+                    break
+            if hit is None:
+                raise SimulationError(f"address {a:#x} unmapped")
+            out.append(hit)
+        return out
+
+
+@dataclass
+class NumaPlacement:
+    """Maps pages to home NUMA nodes under each region's policy."""
+
+    layout: MemoryLayout
+    topology: MachineTopology
+
+    def home_nodes(self, addresses: np.ndarray, accessor_node: int) -> np.ndarray:
+        """Home node of each address, given the accessing core's node
+        (needed by the ``local`` policy)."""
+        addrs = np.asarray(addresses, dtype=np.int64).ravel()
+        out = np.zeros(addrs.size, dtype=np.int64)
+        nn = self.topology.num_numa_nodes
+        # Vectorise per region (streams are usually single-region bursts).
+        for r in self.layout.regions.values():
+            in_r = (addrs >= r.base) & (addrs < r.base + max(r.nbytes, 1))
+            if not np.any(in_r):
+                continue
+            if r.policy in ("bind", "first_touch"):
+                out[in_r] = r.home % nn
+            elif r.policy == "interleave":
+                out[in_r] = (addrs[in_r] // PAGE_BYTES) % nn
+            else:  # local: homed wherever the accessor lives
+                out[in_r] = accessor_node
+        return out
+
+    def dram_latencies_ns(
+        self, addresses: np.ndarray, core: int
+    ) -> np.ndarray:
+        """Per-access DRAM latency for cache-missing accesses from ``core``."""
+        node = self.topology.node_of_core(core)
+        homes = self.home_nodes(addresses, node)
+        lat = np.empty(homes.size)
+        for h in np.unique(homes):
+            lat[homes == h] = self.topology.access_latency_ns(core, int(h))
+        return lat

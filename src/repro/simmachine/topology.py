@@ -1,0 +1,158 @@
+"""Machine topology descriptions and the two presets the paper involves.
+
+All hardware constants are from public documentation (AMD EPYC 7763 /
+NERSC Perlmutter CPU-node docs); nothing here is fitted to the paper's
+measured results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["CacheGeometry", "MachineTopology", "perlmutter", "ripples_testbed"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """One cache level: capacity, associativity, line size (bytes)."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ParameterError("cache geometry fields must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ParameterError(
+                "cache size must be a multiple of ways * line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A multi-socket, multi-NUMA shared-memory machine.
+
+    Latencies are in nanoseconds, bandwidths in bytes/second.  ``remote_ns``
+    prices an access served by another NUMA node on the same socket;
+    ``cross_socket_ns`` one crossing the socket interconnect.
+    """
+
+    name: str
+    sockets: int
+    numa_per_socket: int
+    cores_per_numa: int
+    l1: CacheGeometry
+    l2: CacheGeometry
+    clock_ghz: float
+    l1_hit_ns: float
+    l2_hit_ns: float
+    dram_local_ns: float
+    remote_ns: float
+    cross_socket_ns: float
+    node_bandwidth_bytes_s: float
+    atomic_base_ns: float
+    atomic_conflict_ns: float
+    barrier_ns: float
+
+    def __post_init__(self) -> None:
+        if min(self.sockets, self.numa_per_socket, self.cores_per_numa) <= 0:
+            raise ParameterError("topology counts must be positive")
+
+    @property
+    def num_numa_nodes(self) -> int:
+        return self.sockets * self.numa_per_socket
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_numa_nodes * self.cores_per_numa
+
+    def node_of_core(self, core: int) -> int:
+        """NUMA node owning a core (cores are numbered node-contiguously,
+        matching how ``numactl`` enumerates them on the EPYC)."""
+        if not (0 <= core < self.num_cores):
+            raise ParameterError(f"core {core} outside [0, {self.num_cores})")
+        return core // self.cores_per_numa
+
+    def socket_of_node(self, node: int) -> int:
+        if not (0 <= node < self.num_numa_nodes):
+            raise ParameterError(f"node {node} outside topology")
+        return node // self.numa_per_socket
+
+    def access_latency_ns(self, core: int, home_node: int) -> float:
+        """DRAM latency for ``core`` accessing memory homed on ``home_node``
+        (cache misses only; hits are priced by the cache model)."""
+        my_node = self.node_of_core(core)
+        if my_node == home_node:
+            return self.dram_local_ns
+        if self.socket_of_node(my_node) == self.socket_of_node(home_node):
+            return self.remote_ns
+        return self.cross_socket_ns
+
+    def cores_for_threads(self, num_threads: int) -> list[int]:
+        """The cores a ``num_threads`` run occupies: packed node-by-node,
+        the paper's physical-core pinning (no hyper-threads)."""
+        if not (1 <= num_threads <= self.num_cores):
+            raise ParameterError(
+                f"num_threads {num_threads} outside [1, {self.num_cores}]"
+            )
+        return list(range(num_threads))
+
+    def active_nodes(self, num_threads: int) -> int:
+        """NUMA nodes spanned by a packed ``num_threads`` placement."""
+        return min(
+            (num_threads + self.cores_per_numa - 1) // self.cores_per_numa,
+            self.num_numa_nodes,
+        )
+
+
+def perlmutter() -> MachineTopology:
+    """The paper's platform: dual-socket AMD EPYC 7763, 8 NUMA nodes (NPS4),
+    128 physical cores, 32 KiB L1D + 512 KiB L2 per core."""
+    return MachineTopology(
+        name="perlmutter-epyc7763",
+        sockets=2,
+        numa_per_socket=4,
+        cores_per_numa=16,
+        l1=CacheGeometry(32 * 1024, ways=8),
+        l2=CacheGeometry(512 * 1024, ways=8),
+        clock_ghz=2.45,
+        l1_hit_ns=1.6,
+        l2_hit_ns=5.3,
+        dram_local_ns=96.0,
+        remote_ns=135.0,
+        cross_socket_ns=210.0,
+        node_bandwidth_bytes_s=38e9,
+        atomic_base_ns=9.0,
+        atomic_conflict_ns=55.0,
+        barrier_ns=2200.0,
+    )
+
+
+def ripples_testbed() -> MachineTopology:
+    """The single-socket 10-core node of the original Ripples paper
+    (Minutoli et al. 2019): uniform memory, no NUMA effects."""
+    return MachineTopology(
+        name="ripples-2019-testbed",
+        sockets=1,
+        numa_per_socket=1,
+        cores_per_numa=10,
+        l1=CacheGeometry(32 * 1024, ways=8),
+        l2=CacheGeometry(1024 * 1024, ways=16),
+        clock_ghz=2.4,
+        l1_hit_ns=1.7,
+        l2_hit_ns=5.8,
+        dram_local_ns=90.0,
+        remote_ns=90.0,
+        cross_socket_ns=90.0,
+        node_bandwidth_bytes_s=60e9,
+        atomic_base_ns=8.0,
+        atomic_conflict_ns=40.0,
+        barrier_ns=1500.0,
+    )

@@ -1,0 +1,32 @@
+"""RRR-sketch machinery: representations, stores, compression, statistics.
+
+Reverse-reachable (RRR) sets are the sketches IMM samples; how they are
+*stored* is one of the paper's contributions (§IV-C "Adaptive RRRset
+Representation") and the axis of the HBMax comparison in related work.
+
+- :mod:`repro.sketch.rrr` — single-set representations: sorted vertex list,
+  packed bitmap, and the adaptive policy that switches between them;
+- :mod:`repro.sketch.store` — collections: the flat CSR-style store the
+  selection kernels operate on, the adaptive store with memory-budget
+  accounting (the OOM experiment), and per-worker partitioned stores;
+- :mod:`repro.sketch.compress` — HBMax-style Huffman and delta-varint codecs
+  used as the compression baseline ablation;
+- :mod:`repro.sketch.stats` — coverage statistics (Table I's columns).
+"""
+
+from repro.sketch.rrr import AdaptivePolicy, BitmapRRR, ListRRR, RRRSet, make_rrr
+from repro.sketch.stats import CoverageStats, coverage_stats
+from repro.sketch.store import AdaptiveRRRStore, FlatRRRStore, PartitionedRRRStore
+
+__all__ = [
+    "RRRSet",
+    "ListRRR",
+    "BitmapRRR",
+    "AdaptivePolicy",
+    "make_rrr",
+    "FlatRRRStore",
+    "AdaptiveRRRStore",
+    "PartitionedRRRStore",
+    "CoverageStats",
+    "coverage_stats",
+]

@@ -1,0 +1,143 @@
+"""HBMax-style compressed RRR store: the §VI comparison made runnable.
+
+HBMax (Chen et al., PACT'22) attacks IMM's memory footprint by compressing
+RRR sets; the paper's critique is that the codec overhead taxes every
+access, which EfficientIMM's plain adaptive representations avoid.  This
+store makes both sides of the trade-off measurable:
+
+- sets are held as encoded byte blobs (``"huffman"`` over a codebook
+  trained on the first sets' vertex frequencies — hub vertices get short
+  codes — or ``"delta-varint"``);
+- every :meth:`get` decodes (charged to ``decode_seconds``); every append
+  encodes (charged to ``encode_seconds``);
+- :meth:`nbytes` is the compressed footprint, comparable against
+  :func:`repro.core.sampling.modelled_store_bytes` for the other designs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import OutOfMemoryModelError, ParameterError
+from repro.sketch.compress import DeltaVarintCodec, HuffmanCodec
+from repro.sketch.store import FlatRRRStore
+
+__all__ = ["CompressedRRRStore"]
+
+
+class CompressedRRRStore:
+    """RRR sets stored as compressed blobs, with codec-time accounting.
+
+    Parameters
+    ----------
+    codec:
+        ``"huffman"`` or ``"delta-varint"``.
+    training_sets:
+        Number of initial sets buffered uncompressed to train the Huffman
+        codebook (hub frequencies stabilise quickly); they are encoded
+        retroactively once the codebook exists.  Ignored by delta-varint.
+    budget_bytes:
+        Optional memory-model budget, enforced on the *compressed* size.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        *,
+        codec: str = "huffman",
+        training_sets: int = 32,
+        budget_bytes: int | None = None,
+    ):
+        if codec not in ("huffman", "delta-varint"):
+            raise ParameterError(f"unknown codec {codec!r}")
+        self.num_vertices = int(num_vertices)
+        self.codec_name = codec
+        self.training_sets = int(training_sets)
+        self.budget_bytes = budget_bytes
+        self._codec = DeltaVarintCodec() if codec == "delta-varint" else None
+        self._pending: list[np.ndarray] = []  # pre-codebook buffer
+        self._blobs: list[bytes] = []
+        self._sizes: list[int] = []
+        self._bytes = 0
+        self.encode_seconds = 0.0
+        self.decode_seconds = 0.0
+
+    # ---------------------------------------------------------------- write
+    def append(self, vertices: np.ndarray) -> int:
+        arr = np.asarray(vertices, dtype=np.int32).ravel()
+        self._sizes.append(arr.size)
+        if self._codec is None:
+            # Huffman: buffer until the codebook can be trained.
+            self._pending.append(arr)
+            if len(self._pending) >= self.training_sets:
+                self._train_and_flush()
+            return len(self._sizes) - 1
+        self._encode_one(arr)
+        return len(self._sizes) - 1
+
+    def _train_and_flush(self) -> None:
+        counts = np.zeros(self.num_vertices, dtype=np.int64)
+        for s in self._pending:
+            np.add.at(counts, s.astype(np.int64), 1)
+        self._codec = HuffmanCodec(counts)
+        pending, self._pending = self._pending, []
+        for s in pending:
+            self._encode_one(s)
+
+    def _encode_one(self, arr: np.ndarray) -> None:
+        t0 = time.perf_counter()
+        blob = self._codec.encode(arr)  # type: ignore[union-attr]
+        self.encode_seconds += time.perf_counter() - t0
+        new_total = self._bytes + len(blob)
+        if self.budget_bytes is not None and new_total > self.budget_bytes:
+            raise OutOfMemoryModelError(
+                new_total, self.budget_bytes, what="compressed RRR store"
+            )
+        self._blobs.append(blob)
+        self._bytes = new_total
+
+    def finalize(self) -> None:
+        """Force codebook training and flush any buffered sets."""
+        if self._codec is None:
+            if not self._pending:
+                raise ParameterError("cannot finalize an empty huffman store")
+            self._train_and_flush()
+
+    # ----------------------------------------------------------------- read
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def get(self, i: int) -> np.ndarray:
+        """Decode set ``i`` (sorted ``int32``); codec time is charged."""
+        if self._codec is None:
+            if i >= len(self._blobs) + len(self._pending):
+                raise IndexError(i)
+            if i >= len(self._blobs):
+                return np.sort(self._pending[i - len(self._blobs)])
+        t0 = time.perf_counter()
+        out = self._codec.decode(self._blobs[i])
+        self.decode_seconds += time.perf_counter() - t0
+        return np.sort(out)
+
+    def sizes(self) -> np.ndarray:
+        return np.asarray(self._sizes, dtype=np.int64)
+
+    def nbytes(self) -> int:
+        """Compressed footprint (buffered training sets counted raw)."""
+        return self._bytes + sum(4 * s.size for s in self._pending)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw-int32 bytes / compressed bytes (>1 means space saved)."""
+        raw = 4 * int(self.sizes().sum())
+        return raw / max(self.nbytes(), 1)
+
+    def to_flat(self, *, sort_sets: bool = True) -> FlatRRRStore:
+        """Decode everything into a flat store (pays full decode cost)."""
+        self.finalize()
+        flat = FlatRRRStore(self.num_vertices, sort_sets=sort_sets)
+        for i in range(len(self)):
+            flat.append(self.get(i))
+        return flat

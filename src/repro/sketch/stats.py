@@ -1,0 +1,45 @@
+"""Coverage statistics over RRR stores — Table I's measured columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.store import FlatRRRStore
+
+__all__ = ["CoverageStats", "coverage_stats"]
+
+
+@dataclass(frozen=True)
+class CoverageStats:
+    """Average / maximum coverage fraction of a collection of RRR sets."""
+
+    num_sets: int
+    avg_size: float
+    max_size: int
+    avg_coverage: float
+    max_coverage: float
+    total_entries: int
+
+    def format_row(self) -> str:
+        return (
+            f"{self.num_sets:>8d} sets  avg={self.avg_coverage:6.1%}  "
+            f"max={self.max_coverage:6.1%}  entries={self.total_entries:,}"
+        )
+
+
+def coverage_stats(store: FlatRRRStore) -> CoverageStats:
+    """Compute coverage statistics for every set in ``store``."""
+    sizes = store.sizes()
+    n = max(store.num_vertices, 1)
+    if sizes.size == 0:
+        return CoverageStats(0, 0.0, 0, 0.0, 0.0, 0)
+    return CoverageStats(
+        num_sets=int(sizes.size),
+        avg_size=float(sizes.mean()),
+        max_size=int(sizes.max()),
+        avg_coverage=float(sizes.mean() / n),
+        max_coverage=float(sizes.max() / n),
+        total_entries=int(sizes.sum()),
+    )

@@ -1,0 +1,243 @@
+"""RRR-set collections: flat, adaptive (budgeted), and partitioned stores.
+
+Three stores cover the designs the paper contrasts:
+
+- :class:`FlatRRRStore` — the numpy workhorse: every set's vertices
+  concatenated into one ``int32`` array with an ``int64`` offsets array
+  (CSR-of-sets).  All selection kernels consume this layout because it
+  vectorises counting (`bincount`) and per-set slicing.
+- :class:`AdaptiveRRRStore` — per-set adaptive representations with *memory
+  accounting*: every append charges the modelled footprint against an
+  optional budget, raising :class:`OutOfMemoryModelError` when exceeded.
+  This store reproduces the Table III "Ripples OOM on Twitter7" experiment:
+  run it with ``policy=None`` (always lists, Ripples) versus an
+  :class:`AdaptivePolicy` (EfficientIMM) under the same budget.
+- :class:`PartitionedRRRStore` — one flat store per worker, the layout the
+  RRRset-partitioning strategy (§IV-A) and NUMA-local placement (§IV-B)
+  produce; provides a ``merge()`` modelling Ripples' gather step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import OutOfMemoryModelError, ParameterError
+from repro.sketch.rrr import AdaptivePolicy, RRRSet, make_rrr
+
+__all__ = ["FlatRRRStore", "AdaptiveRRRStore", "PartitionedRRRStore"]
+
+_GROW = 1.5  # amortised growth factor for the flat arrays
+
+
+class FlatRRRStore:
+    """Concatenated RRR sets: ``offsets[i]:offsets[i+1]`` slices set ``i``.
+
+    Vertices within each set are kept sorted if ``sort_sets`` is true; the
+    Ripples baseline needs sorted sets (it binary-searches them), while the
+    EfficientIMM kernels do not (they only ever scan sets forward), so the
+    sorting cost is charged exactly where the paper charges it.
+    """
+
+    def __init__(self, num_vertices: int, *, sort_sets: bool = False):
+        self.num_vertices = int(num_vertices)
+        self.sort_sets = bool(sort_sets)
+        self._offsets = np.zeros(16, dtype=np.int64)
+        self._verts = np.empty(64, dtype=np.int32)
+        self._num_sets = 0
+        self._num_entries = 0
+
+    # --------------------------------------------------------------- append
+    def append(self, vertices: np.ndarray) -> int:
+        """Add one set; returns its index.
+
+        Precondition: ``vertices`` holds no duplicates (every sampler
+        guarantees this — a BFS/walk visits each vertex at most once).  The
+        store does not re-deduplicate; duplicate entries would double-count
+        in :meth:`vertex_counts` and the selection kernels.
+        """
+        arr = np.asarray(vertices, dtype=np.int32).ravel()
+        if self.sort_sets:
+            arr = np.sort(arr)
+        need = self._num_entries + arr.size
+        if need > self._verts.size:
+            new_cap = max(int(self._verts.size * _GROW), need)
+            self._verts = np.resize(self._verts, new_cap)
+        if self._num_sets + 2 > self._offsets.size:
+            self._offsets = np.resize(
+                self._offsets, int(self._offsets.size * _GROW) + 2
+            )
+        self._verts[self._num_entries : need] = arr
+        self._num_entries = need
+        self._num_sets += 1
+        self._offsets[self._num_sets] = need
+        return self._num_sets - 1
+
+    def extend(self, sets: Sequence[np.ndarray]) -> None:
+        for s in sets:
+            self.append(s)
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return self._num_sets
+
+    def get(self, i: int) -> np.ndarray:
+        """View of set ``i``'s vertices (no copy)."""
+        if not (0 <= i < self._num_sets):
+            raise IndexError(f"set index {i} out of range [0, {self._num_sets})")
+        return self._verts[self._offsets[i] : self._offsets[i + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(self._num_sets):
+            yield self.get(i)
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Offsets array view, length ``len(self) + 1``."""
+        return self._offsets[: self._num_sets + 1]
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Flat concatenated vertices view, length ``total_entries``."""
+        return self._verts[: self._num_entries]
+
+    @property
+    def total_entries(self) -> int:
+        return self._num_entries
+
+    def sizes(self) -> np.ndarray:
+        """Per-set sizes."""
+        return np.diff(self.offsets)
+
+    # ---------------------------------------------------------- bulk kernels
+    def vertex_counts(self) -> np.ndarray:
+        """Occurrences of each vertex across all sets (one ``bincount``).
+
+        This is the "initialise global counter" loop of Algorithm 2 in its
+        fully vectorised serial form.
+        """
+        return np.bincount(self.vertices, minlength=self.num_vertices).astype(
+            np.int64
+        )
+
+    def sets_containing(self, v: int) -> np.ndarray:
+        """Indices of sets that contain vertex ``v`` (vectorised scan)."""
+        hits = np.flatnonzero(self.vertices == np.int32(v))
+        return np.unique(np.searchsorted(self.offsets, hits, side="right") - 1)
+
+    def nbytes(self) -> int:
+        """Modelled footprint: the *logical* arrays, not the growth slack."""
+        return int(self._num_entries * 4 + (self._num_sets + 1) * 8)
+
+    def memory_model_bytes_per_set_entry(self) -> float:
+        """Average modelled bytes per stored vertex (for OOM projection)."""
+        return self.nbytes() / max(self._num_entries, 1)
+
+
+class AdaptiveRRRStore:
+    """Per-set representations with budget-checked memory accounting.
+
+    ``policy=None`` forces sorted lists for every set (the Ripples layout);
+    an :class:`AdaptivePolicy` enables EfficientIMM's per-set switching.
+    ``budget_bytes`` models the machine's memory: exceeding it raises
+    :class:`OutOfMemoryModelError` exactly where the real Ripples run dies.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        *,
+        policy: AdaptivePolicy | None = None,
+        budget_bytes: int | None = None,
+    ):
+        self.num_vertices = int(num_vertices)
+        self.policy = policy
+        self.budget_bytes = budget_bytes
+        self._sets: list[RRRSet] = []
+        self._bytes = 0
+
+    def append(self, vertices: np.ndarray) -> RRRSet:
+        kind = "list" if self.policy is None else None
+        rrr = make_rrr(vertices, self.num_vertices, policy=self.policy, kind=kind)
+        new_total = self._bytes + rrr.nbytes()
+        if self.budget_bytes is not None and new_total > self.budget_bytes:
+            raise OutOfMemoryModelError(new_total, self.budget_bytes)
+        self._sets.append(rrr)
+        self._bytes = new_total
+        return rrr
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __getitem__(self, i: int) -> RRRSet:
+        return self._sets[i]
+
+    def __iter__(self) -> Iterator[RRRSet]:
+        return iter(self._sets)
+
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def representation_histogram(self) -> dict[str, int]:
+        """Count of sets per representation kind ("list"/"bitmap")."""
+        hist: dict[str, int] = {}
+        for s in self._sets:
+            hist[s.kind] = hist.get(s.kind, 0) + 1
+        return hist
+
+    def to_flat(self, *, sort_sets: bool = False) -> FlatRRRStore:
+        """Materialise as a flat store (used when handing to kernels)."""
+        flat = FlatRRRStore(self.num_vertices, sort_sets=sort_sets)
+        for s in self._sets:
+            flat.append(s.vertices())
+        return flat
+
+
+class PartitionedRRRStore:
+    """One :class:`FlatRRRStore` per worker (the NUMA-local layout).
+
+    Under EfficientIMM's partitioning each worker generates *and consumes*
+    its own slice of the RRR sets, so the sets never move; Ripples instead
+    gathers all sets into one global store before selection.  ``merge()``
+    models that gather (it copies every vertex once).
+    """
+
+    def __init__(self, num_vertices: int, num_workers: int, *, sort_sets: bool = False):
+        if num_workers <= 0:
+            raise ParameterError(f"num_workers must be positive, got {num_workers}")
+        self.num_vertices = int(num_vertices)
+        self.num_workers = int(num_workers)
+        self.parts = [
+            FlatRRRStore(num_vertices, sort_sets=sort_sets)
+            for _ in range(num_workers)
+        ]
+
+    def append(self, worker: int, vertices: np.ndarray) -> int:
+        return self.parts[worker].append(vertices)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.parts)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(p.total_entries for p in self.parts)
+
+    def merge(self) -> FlatRRRStore:
+        """Gather all partitions into one store (Ripples' redistribution)."""
+        out = FlatRRRStore(self.num_vertices, sort_sets=False)
+        for part in self.parts:
+            for s in part:
+                out.append(s)
+        return out
+
+    def vertex_counts(self) -> np.ndarray:
+        """Global counter built from per-partition counts (sum of bincounts),
+        the serial equivalent of Algorithm 2's concurrent atomic updates."""
+        total = np.zeros(self.num_vertices, dtype=np.int64)
+        for part in self.parts:
+            total += part.vertex_counts()
+        return total
+
+    def nbytes(self) -> int:
+        return sum(p.nbytes() for p in self.parts)

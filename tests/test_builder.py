@@ -1,0 +1,145 @@
+"""Tests for GraphBuilder normalisation (dedup, relabel, self-loops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphConstructionError
+from repro.graph.builder import GraphBuilder, from_edge_array
+
+
+class TestBuilder:
+    def test_dedup_keeps_first_probability(self):
+        b = GraphBuilder(relabel=False)
+        b.add_edges(np.array([0, 0]), np.array([1, 1]), np.array([0.3, 0.9]))
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.edge_probs(0)[0] == 0.3
+
+    def test_self_loops_dropped(self):
+        g = from_edge_array(np.array([0, 1]), np.array([0, 0]), num_vertices=2)
+        assert g.num_edges == 1
+        assert list(g.neighbors(1)) == [0]
+
+    def test_self_loops_kept_when_disabled(self):
+        b = GraphBuilder(relabel=False, drop_self_loops=False)
+        b.add_edges(np.array([0]), np.array([0]))
+        assert b.build().num_edges == 1
+
+    def test_relabel_compacts_sparse_ids(self):
+        b = GraphBuilder(relabel=True)
+        b.add_edges(np.array([100, 5000]), np.array([5000, 9999]))
+        g = b.build()
+        assert g.num_vertices == 3
+        assert np.array_equal(b.vertex_labels, [100, 5000, 9999])
+
+    def test_relabel_preserves_structure(self):
+        b = GraphBuilder(relabel=True)
+        b.add_edges(np.array([10, 20]), np.array([20, 30]))
+        g = b.build()
+        # 10->20->30 must become 0->1->2.
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [2]
+
+    def test_rows_sorted(self):
+        b = GraphBuilder(relabel=False)
+        b.add_edges(np.array([0, 0, 0]), np.array([5, 2, 9]))
+        g = b.build()
+        assert list(g.neighbors(0)) == [2, 5, 9]
+
+    def test_add_edge_scalar(self):
+        g = GraphBuilder(relabel=False).add_edge(0, 3, 0.7).build()
+        assert g.num_vertices == 4
+        assert g.edge_probs(0)[0] == 0.7
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+
+    def test_forced_num_vertices(self):
+        g = from_edge_array(np.array([0]), np.array([1]), num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_rejects_id_above_forced_size(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_array(np.array([0]), np.array([11]), num_vertices=10)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_array(np.array([-1]), np.array([0]))
+
+    def test_rejects_length_mismatch(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphConstructionError):
+            b.add_edges(np.array([0, 1]), np.array([1]))
+
+    def test_rejects_probs_length_mismatch(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphConstructionError):
+            b.add_edges(np.array([0, 1]), np.array([1, 0]), np.array([0.5]))
+
+    def test_scalar_prob_broadcast(self):
+        b = GraphBuilder(relabel=False)
+        b.add_edges(np.array([0, 1]), np.array([1, 2]), 0.25)
+        g = b.build()
+        assert np.all(g.probs == 0.25)
+
+    def test_default_prob(self):
+        b = GraphBuilder(relabel=False, default_prob=0.4)
+        b.add_edges(np.array([0]), np.array([1]))
+        assert b.build().probs[0] == 0.4
+
+    def test_make_undirected_mirrors(self):
+        g = from_edge_array(
+            np.array([0]), np.array([1]), 0.5, make_undirected=True
+        )
+        assert g.num_edges == 2
+        assert list(g.neighbors(1)) == [0]
+
+    def test_multiple_batches_accumulate(self):
+        b = GraphBuilder(relabel=False)
+        b.add_edges(np.array([0]), np.array([1]))
+        b.add_edges(np.array([1]), np.array([2]))
+        assert b.build().num_edges == 2
+
+
+class TestBuilderProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)),
+            min_size=0, max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_form_invariants(self, pairs):
+        src = np.array([u for u, _ in pairs], dtype=np.int64)
+        dst = np.array([v for _, v in pairs], dtype=np.int64)
+        g = from_edge_array(src, dst, num_vertices=41)
+        # No self-loops, no duplicates, sorted rows.
+        seen = set()
+        for u, v, _ in g.iter_edges():
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+        assert g.has_sorted_rows()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 25), st.integers(0, 25)),
+            min_size=1, max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_relabel_is_isomorphic(self, pairs):
+        src = np.array([u * 7 for u, _ in pairs], dtype=np.int64)
+        dst = np.array([v * 7 + 3 for _, v in pairs], dtype=np.int64)
+        b = GraphBuilder(relabel=True)
+        b.add_edges(src, dst)
+        g = b.build()
+        labels = b.vertex_labels
+        back = {
+            (labels[u], labels[v]) for u, v, _ in g.iter_edges()
+        }
+        expected = {(u, v) for u, v in zip(src, dst) if u != v}
+        assert back == expected

@@ -1,0 +1,134 @@
+"""Tests for the HBMax-style compression codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.sketch.compress import (
+    CompressionReport,
+    DeltaVarintCodec,
+    HuffmanCodec,
+    compare_codecs,
+)
+
+
+class TestHuffman:
+    def test_roundtrip_simple(self):
+        codec = HuffmanCodec(np.array([10, 5, 1, 1]))
+        data = np.array([0, 1, 2, 3, 0, 0, 1])
+        assert codec.decode(codec.encode(data)).tolist() == data.tolist()
+
+    def test_roundtrip_empty(self):
+        codec = HuffmanCodec(np.array([1, 1]))
+        assert codec.decode(codec.encode(np.array([], dtype=np.int64))).size == 0
+
+    def test_frequent_symbols_get_short_codes(self):
+        freq = np.array([1000, 1, 1, 1, 1, 1, 1, 1])
+        lengths = HuffmanCodec(freq).code_lengths()
+        assert lengths[0] == lengths.min()
+        assert lengths[0] < lengths[1:].min()
+
+    def test_single_symbol(self):
+        codec = HuffmanCodec(np.array([5]))
+        data = np.array([0, 0, 0])
+        assert codec.decode(codec.encode(data)).tolist() == [0, 0, 0]
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        lengths = HuffmanCodec(rng.integers(1, 100, size=40)).code_lengths()
+        assert np.sum(2.0 ** -lengths) <= 1.0 + 1e-12
+
+    def test_encoded_nbytes_matches_encode(self):
+        codec = HuffmanCodec(np.array([7, 3, 2, 1, 1]))
+        data = np.array([0, 1, 2, 3, 4, 0, 0])
+        assert codec.encoded_nbytes(data) == len(codec.encode(data))
+
+    def test_compresses_skewed_data(self):
+        # Hub-heavy multisets (the RRR workload) must beat raw int32.
+        rng = np.random.default_rng(1)
+        freq = np.array([2000, 1500, 800] + [2] * 197)
+        codec = HuffmanCodec(freq)
+        data = rng.choice(200, p=freq / freq.sum(), size=500)
+        assert len(codec.encode(data)) < 4 * data.size
+
+    def test_rejects_out_of_range_symbol(self):
+        codec = HuffmanCodec(np.array([1, 1]))
+        with pytest.raises(ParameterError):
+            codec.encode(np.array([5]))
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ParameterError):
+            HuffmanCodec(np.array([], dtype=np.int64))
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ParameterError):
+            HuffmanCodec(np.array([3, -1]))
+
+    @given(
+        st.lists(st.integers(0, 19), min_size=0, max_size=120),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data, seed):
+        rng = np.random.default_rng(seed)
+        codec = HuffmanCodec(rng.integers(0, 50, size=20))
+        arr = np.asarray(data, dtype=np.int64)
+        assert codec.decode(codec.encode(arr)).tolist() == data
+
+
+class TestDeltaVarint:
+    def test_roundtrip(self):
+        codec = DeltaVarintCodec()
+        data = np.array([5, 100, 3, 1000000])
+        out = codec.decode(codec.encode(data))
+        assert out.tolist() == sorted(data.tolist())
+
+    def test_empty(self):
+        codec = DeltaVarintCodec()
+        assert codec.decode(codec.encode(np.array([], dtype=np.int64))).size == 0
+
+    def test_dense_runs_compress_well(self):
+        codec = DeltaVarintCodec()
+        data = np.arange(1000)
+        # Deltas of 1 are single bytes: ~1 byte/entry vs 4 raw.
+        assert len(codec.encode(data)) < 1100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            DeltaVarintCodec().encode(np.array([-1]))
+
+    @given(st.lists(st.integers(0, 10**6), min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = DeltaVarintCodec()
+        arr = np.asarray(data, dtype=np.int64)
+        assert codec.decode(codec.encode(arr)).tolist() == sorted(data)
+
+
+class TestCompareCodecs:
+    def test_reports_all_codecs(self):
+        rng = np.random.default_rng(2)
+        sets = [rng.integers(0, 100, size=30) for _ in range(10)]
+        reports = compare_codecs(sets, 100)
+        assert [r.codec for r in reports] == ["raw-int32", "huffman", "delta-varint"]
+
+    def test_raw_ratio_is_one(self):
+        sets = [np.arange(10)]
+        raw = compare_codecs(sets, 10)[0]
+        assert raw.ratio == 1.0
+
+    def test_codecs_save_space_on_skewed_sets(self):
+        rng = np.random.default_rng(3)
+        # Dense, clustered sets: both codecs must achieve ratio > 1.
+        sets = [np.sort(rng.choice(400, size=300, replace=False)) for _ in range(8)]
+        reports = {r.codec: r for r in compare_codecs(sets, 400)}
+        assert reports["huffman"].ratio > 1.0
+        assert reports["delta-varint"].ratio > 1.0
+
+    def test_codec_overhead_recorded(self):
+        sets = [np.arange(50)]
+        for r in compare_codecs(sets, 50)[1:]:
+            assert r.encode_seconds >= 0.0
+            assert r.decode_seconds >= 0.0

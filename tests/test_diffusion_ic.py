@@ -1,0 +1,162 @@
+"""Tests for the Independent Cascade model (forward + reverse)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.ic import ICModel, gather_frontier_edges
+from repro.errors import ParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.weights import assign_ic_weights
+
+from conftest import make_graph
+
+
+class TestGatherFrontierEdges:
+    def test_single_vertex(self, star_graph):
+        nbrs, probs = gather_frontier_edges(star_graph, np.array([0]))
+        assert sorted(nbrs.tolist()) == list(range(1, 9))
+        assert np.all(probs == 1.0)
+
+    def test_multiple_vertices_concatenate(self, line_graph):
+        nbrs, _ = gather_frontier_edges(line_graph, np.array([0, 2]))
+        assert sorted(nbrs.tolist()) == [1, 3]
+
+    def test_empty_frontier(self, line_graph):
+        nbrs, probs = gather_frontier_edges(line_graph, np.empty(0, dtype=np.int64))
+        assert nbrs.size == 0 and probs.size == 0
+
+    def test_leaf_frontier(self, line_graph):
+        nbrs, _ = gather_frontier_edges(line_graph, np.array([4]))
+        assert nbrs.size == 0
+
+    def test_probs_aligned(self, diamond_graph):
+        nbrs, probs = gather_frontier_edges(diamond_graph, np.array([0]))
+        got = dict(zip(nbrs.tolist(), probs.tolist()))
+        assert got == {1: 1.0, 2: 0.5}
+
+    def test_duplicate_frontier_entries_duplicate_edges(self, star_graph):
+        nbrs, _ = gather_frontier_edges(star_graph, np.array([0, 0]))
+        assert nbrs.size == 16
+
+
+class TestReverseSample:
+    def test_deterministic_line(self, line_graph, rng):
+        model = ICModel(line_graph)
+        # All probabilities 1: reverse reach of vertex 4 is everything.
+        rrr = model.reverse_sample(4, rng)
+        assert sorted(rrr.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_root_always_included(self, line_graph, rng):
+        model = ICModel(line_graph)
+        rrr = model.reverse_sample(0, rng)
+        assert 0 in rrr.tolist()
+        assert rrr.size == 1  # vertex 0 has no in-edges
+
+    def test_zero_probability_blocks(self, rng):
+        g = make_graph([(0, 1, 0.0)], n=2)
+        model = ICModel(g)
+        assert model.reverse_sample(1, rng).tolist() == [1]
+
+    def test_no_duplicates(self, cycle_graph, rng):
+        model = ICModel(cycle_graph)
+        rrr = model.reverse_sample(0, rng)
+        assert len(set(rrr.tolist())) == rrr.size
+
+    def test_respects_direction(self, line_graph, rng):
+        model = ICModel(line_graph)
+        # Nothing downstream of 2 can appear in its reverse set.
+        rrr = model.reverse_sample(2, rng)
+        assert set(rrr.tolist()) <= {0, 1, 2}
+
+    def test_epoch_isolation_between_samples(self, cycle_graph, rng):
+        model = ICModel(cycle_graph)
+        a = model.reverse_sample(0, rng)
+        b = model.reverse_sample(3, rng)
+        assert 3 in b.tolist()
+        assert a.size == b.size == 6  # determinism with p=1 edges
+
+    def test_monte_carlo_probability(self):
+        # Single edge with p=0.3: P(0 in RRR(1)) must approach 0.3.
+        g = make_graph([(0, 1, 0.3)], n=2)
+        model = ICModel(g)
+        rng = np.random.default_rng(0)
+        hits = sum(
+            model.reverse_sample(1, rng).size == 2 for _ in range(4000)
+        )
+        assert 0.27 < hits / 4000 < 0.33
+
+    def test_dtype(self, cycle_graph, rng):
+        assert ICModel(cycle_graph).reverse_sample(0, rng).dtype == np.int32
+
+
+class TestForwardSample:
+    def test_full_propagation(self, line_graph, rng):
+        model = ICModel(line_graph)
+        out = model.forward_sample(np.array([0]), rng)
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_seeds_always_active(self, isolated_graph, rng):
+        model = ICModel(isolated_graph)
+        out = model.forward_sample(np.array([2, 4]), rng)
+        assert sorted(out.tolist()) == [2, 4]
+
+    def test_zero_prob_edge_never_fires(self, rng):
+        g = make_graph([(0, 1, 0.0)], n=2)
+        model = ICModel(g)
+        for _ in range(50):
+            assert ICModel(g).forward_sample(np.array([0]), rng).tolist() == [0]
+
+    def test_multiple_seeds_union(self, two_triangles, rng):
+        model = ICModel(two_triangles)
+        out = model.forward_sample(np.array([0, 3]), rng)
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4, 5]
+
+    def test_single_triangle_contained(self, two_triangles, rng):
+        model = ICModel(two_triangles)
+        out = model.forward_sample(np.array([0]), rng)
+        assert set(out.tolist()) == {0, 1, 2}
+
+    def test_monte_carlo_edge_probability(self):
+        g = make_graph([(0, 1, 0.4)], n=2)
+        model = ICModel(g)
+        rng = np.random.default_rng(1)
+        hits = sum(
+            model.forward_sample(np.array([0]), rng).size == 2
+            for _ in range(4000)
+        )
+        assert 0.36 < hits / 4000 < 0.44
+
+
+class TestRISEquivalence:
+    """The identity RIS rests on: P(v in RRR(u)) == P(u activates v)."""
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=10, deadline=None)
+    def test_reverse_forward_symmetry(self, seed):
+        src, dst = erdos_renyi(25, 80, seed=seed)
+        g = assign_ic_weights(
+            from_edge_array(src, dst, num_vertices=25), seed=seed
+        )
+        model = ICModel(g)
+        rng = np.random.default_rng(seed)
+        u, v = 3, 17
+        trials = 1200
+        fwd = sum(
+            v in model.forward_sample(np.array([u]), rng).tolist()
+            for _ in range(trials)
+        )
+        rev = sum(
+            u in model.reverse_sample(v, rng).tolist() for _ in range(trials)
+        )
+        # Both estimate the same probability; allow Monte-Carlo slack.
+        assert abs(fwd - rev) / trials < 0.08
+
+    def test_random_root_uniform(self, cycle_graph):
+        model = ICModel(cycle_graph)
+        rng = np.random.default_rng(2)
+        roots = [model.random_root(rng) for _ in range(1200)]
+        counts = np.bincount(roots, minlength=6)
+        assert counts.min() > 120  # roughly uniform over 6 vertices

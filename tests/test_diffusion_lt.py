@@ -1,0 +1,163 @@
+"""Tests for the Linear Threshold model (forward + reverse)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.base import get_model
+from repro.diffusion.lt import LTModel, _row_cumsum
+from repro.errors import ParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.weights import assign_lt_weights
+
+from conftest import make_graph
+
+
+class TestRowCumsum:
+    def test_simple(self):
+        g = make_graph([(0, 1, 0.2), (0, 2, 0.3), (1, 2, 0.5)], n=3)
+        cum = _row_cumsum(g)
+        # Row 0 has two edges (cumsum 0.2, 0.5), row 1 one edge (0.5).
+        assert cum == pytest.approx([0.2, 0.5, 0.5])
+
+    def test_empty(self, empty_graph):
+        assert _row_cumsum(empty_graph).size == 0
+
+    def test_rows_independent(self):
+        g = make_graph([(0, 1, 0.9), (1, 2, 0.1)], n=3)
+        assert _row_cumsum(g) == pytest.approx([0.9, 0.1])
+
+
+class TestReverseSample:
+    def test_is_a_path(self, rng):
+        # Chain with full weights: the reverse walk from 3 is the whole chain.
+        g = make_graph([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], n=4)
+        model = LTModel(g)
+        rrr = model.reverse_sample(3, rng)
+        assert rrr.tolist() == [3, 2, 1, 0]
+
+    def test_stops_without_in_edges(self, rng):
+        g = make_graph([(0, 1, 1.0)], n=2)
+        model = LTModel(g)
+        assert model.reverse_sample(0, rng).tolist() == [0]
+
+    def test_no_activation_mass_stops_walk(self):
+        g = make_graph([(0, 1, 0.0)], n=2)
+        model = LTModel(g)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            assert model.reverse_sample(1, rng).tolist() == [1]
+
+    def test_cycle_terminates(self, cycle_graph, rng):
+        model = LTModel(cycle_graph)
+        rrr = model.reverse_sample(0, rng)
+        # Weight-1 cycle: the walk must wrap once and stop at revisit.
+        assert rrr.size == 6
+        assert len(set(rrr.tolist())) == 6
+
+    def test_picks_in_neighbor_proportionally(self):
+        # v=2 has in-edges from 0 (w=0.6) and 1 (w=0.2); stop mass 0.2.
+        g = make_graph([(0, 2, 0.6), (1, 2, 0.2)], n=3)
+        model = LTModel(g)
+        rng = np.random.default_rng(3)
+        picks = {0: 0, 1: 0, None: 0}
+        for _ in range(5000):
+            rrr = model.reverse_sample(2, rng).tolist()
+            if len(rrr) == 1:
+                picks[None] += 1
+            else:
+                picks[rrr[1]] += 1
+        assert picks[0] / 5000 == pytest.approx(0.6, abs=0.03)
+        assert picks[1] / 5000 == pytest.approx(0.2, abs=0.03)
+        assert picks[None] / 5000 == pytest.approx(0.2, abs=0.03)
+
+    def test_lt_sets_smaller_than_ic(self, amazon_lt, amazon_ic):
+        # The §III observation that motivates everything: LT RRR sets are
+        # tiny paths, IC sets are SCC-sized.
+        rng = np.random.default_rng(7)
+        lt = get_model("LT", amazon_lt)
+        ic = get_model("IC", amazon_ic)
+        lt_sizes = [lt.reverse_sample(lt.random_root(rng), rng).size for _ in range(30)]
+        ic_sizes = [ic.reverse_sample(ic.random_root(rng), rng).size for _ in range(30)]
+        assert np.mean(lt_sizes) < 0.05 * np.mean(ic_sizes)
+
+
+class TestForwardSample:
+    def test_weight_one_chain_propagates(self, rng):
+        g = make_graph([(0, 1, 1.0), (1, 2, 1.0)], n=3)
+        model = LTModel(g)
+        out = model.forward_sample(np.array([0]), rng)
+        assert sorted(out.tolist()) == [0, 1, 2]
+
+    def test_zero_weights_never_activate(self):
+        g = make_graph([(0, 1, 0.0)], n=2)
+        model = LTModel(g)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            assert model.forward_sample(np.array([0]), rng).tolist() == [0]
+
+    def test_threshold_monte_carlo(self):
+        # Single edge weight 0.35: P(activate) = P(T_v <= 0.35) = 0.35.
+        g = make_graph([(0, 1, 0.35)], n=2)
+        model = LTModel(g)
+        rng = np.random.default_rng(2)
+        hits = sum(
+            model.forward_sample(np.array([0]), rng).size == 2
+            for _ in range(5000)
+        )
+        assert hits / 5000 == pytest.approx(0.35, abs=0.02)
+
+    def test_additive_influence(self):
+        # v=2 gets 0.5 from each parent: both seeded -> always activates
+        # (threshold <= 1 almost surely); one seeded -> ~half the time.
+        g = make_graph([(0, 2, 0.5), (1, 2, 0.5)], n=3)
+        model = LTModel(g)
+        rng = np.random.default_rng(3)
+        both = sum(
+            2 in model.forward_sample(np.array([0, 1]), rng).tolist()
+            for _ in range(2000)
+        )
+        one = sum(
+            2 in model.forward_sample(np.array([0]), rng).tolist()
+            for _ in range(2000)
+        )
+        assert both / 2000 > 0.98
+        assert one / 2000 == pytest.approx(0.5, abs=0.04)
+
+    def test_seeds_preserved(self, isolated_graph, rng):
+        model = LTModel(isolated_graph)
+        assert sorted(
+            model.forward_sample(np.array([1, 3]), rng).tolist()
+        ) == [1, 3]
+
+
+class TestFactory:
+    def test_get_model_ic(self, amazon_ic):
+        assert get_model("ic", amazon_ic).name == "IC"
+
+    def test_get_model_lt(self, amazon_lt):
+        assert get_model("lt", amazon_lt).name == "LT"
+
+    def test_get_model_unknown(self, amazon_ic):
+        with pytest.raises(ParameterError):
+            get_model("SIS", amazon_ic)
+
+
+class TestLTReverseForwardSymmetry:
+    def test_symmetry_on_random_graph(self):
+        src, dst = erdos_renyi(20, 60, seed=42)
+        g = assign_lt_weights(
+            from_edge_array(src, dst, num_vertices=20), seed=42
+        )
+        model = LTModel(g)
+        rng = np.random.default_rng(0)
+        u, v = 2, 11
+        trials = 3000
+        fwd = sum(
+            v in model.forward_sample(np.array([u]), rng).tolist()
+            for _ in range(trials)
+        )
+        rev = sum(
+            u in model.reverse_sample(v, rng).tolist() for _ in range(trials)
+        )
+        assert abs(fwd - rev) / trials < 0.05

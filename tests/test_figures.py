@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.figures import ascii_chart, scaling_chart
+from repro.errors import ParameterError
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            {"a": ([1, 2, 4, 8], [1.0, 2.0, 3.5, 4.0])},
+            width=40, height=8, title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert any("o" in line for line in lines)
+        assert "o=a" in lines[-1]
+
+    def test_two_series_distinct_markers(self):
+        out = ascii_chart(
+            {
+                "up": ([1, 2, 3], [1.0, 2.0, 3.0]),
+                "down": ([1, 2, 3], [3.0, 2.0, 1.0]),
+            },
+            width=30, height=6,
+        )
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_log_x_labels(self):
+        out = ascii_chart(
+            {"a": ([1, 128], [1.0, 2.0])}, log_x=True, width=30, height=5
+        )
+        assert "128" in out
+        assert out.splitlines()[-2].strip().startswith("1")
+
+    def test_y_extent_labels(self):
+        out = ascii_chart(
+            {"a": ([0, 1], [0.25, 7.5])}, width=20, height=5
+        )
+        assert "7.5" in out and "0.25" in out
+
+    def test_flat_series_ok(self):
+        out = ascii_chart({"a": ([1, 2, 3], [5.0, 5.0, 5.0])}, width=20, height=4)
+        assert "o" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"a": ([1], [2.0])}, width=10, height=4)
+        assert "o" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({"a": ([1, 2], [1.0])})
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": ([1, 2], [1.0, 2.0]) for i in range(9)}
+        with pytest.raises(ParameterError):
+            ascii_chart(series)
+
+    def test_markers_within_grid(self):
+        out = ascii_chart(
+            {"a": ([1, 2, 4, 8, 16], [1, 4, 9, 16, 25])},
+            width=25, height=7, log_x=True,
+        )
+        for line in out.splitlines():
+            assert len(line) < 25 + 20  # label gutter + grid width bound
+
+
+class TestScalingChart:
+    def test_renders_curves(self):
+        from repro.simmachine.cost import ScalingCurve
+
+        curve = ScalingCurve(
+            label="x", thread_counts=(1, 2, 4, 8),
+            times_s=(8.0, 4.0, 2.0, 1.5),
+        )
+        out = scaling_chart({"EfficientIMM": curve}, title="t")
+        assert "speedup" in out
+        assert "o=EfficientIMM" in out

@@ -1,0 +1,134 @@
+"""Tests for the PacIM-style forward influence sketches."""
+
+import numpy as np
+import pytest
+
+from repro.core.fis import ForwardSketches, _propagate_min, fis_select
+from repro.errors import ParameterError
+
+from conftest import make_graph
+
+
+class TestPropagateMin:
+    def test_chain_propagates_backwards(self):
+        # 0 -> 1 -> 2: vertex 0 sees the min rank of {0, 1, 2}.
+        ranks = np.array([[0.9], [0.5], [0.1]])
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        out = _propagate_min(ranks, src, dst)
+        assert out[0, 0] == pytest.approx(0.1)
+        assert out[1, 0] == pytest.approx(0.1)
+        assert out[2, 0] == pytest.approx(0.1)
+
+    def test_no_edges_identity(self):
+        ranks = np.random.default_rng(0).random((5, 3))
+        out = _propagate_min(
+            ranks, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(out, ranks)
+
+    def test_cycle_converges(self):
+        ranks = np.array([[0.7], [0.2], [0.5]])
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        out = _propagate_min(ranks, src, dst)
+        assert np.all(out == 0.2)
+
+    def test_direction_respected(self):
+        # 0 -> 1 with min at 0: vertex 1 must NOT inherit 0's rank.
+        ranks = np.array([[0.1], [0.9]])
+        out = _propagate_min(ranks, np.array([0]), np.array([1]))
+        assert out[1, 0] == pytest.approx(0.9)
+
+
+class TestForwardSketches:
+    def test_deterministic_line_estimates(self, line_graph):
+        # All probabilities 1: reach sizes are exactly 5,4,3,2,1.
+        fs = ForwardSketches(line_graph, num_samples=4, num_hashes=256, seed=0)
+        ests = fs.estimate_all_singletons()
+        true = np.array([5, 4, 3, 2, 1], dtype=float)
+        assert np.all(np.abs(ests - true) / true < 0.35)
+
+    def test_estimate_monotone_in_reach(self, line_graph):
+        fs = ForwardSketches(line_graph, num_samples=4, num_hashes=64, seed=1)
+        ests = fs.estimate_all_singletons()
+        # Upstream vertices reach more.
+        assert ests[0] > ests[3]
+
+    def test_union_at_least_max_member(self, two_triangles):
+        fs = ForwardSketches(two_triangles, num_samples=4, num_hashes=64, seed=2)
+        both = fs.estimate(np.array([0, 3]))
+        assert both >= fs.estimate(np.array([0])) - 1e-9
+        assert both >= fs.estimate(np.array([3])) - 1e-9
+
+    def test_disjoint_components_add(self, two_triangles):
+        fs = ForwardSketches(two_triangles, num_samples=4, num_hashes=256, seed=3)
+        one = fs.estimate(np.array([0]))
+        both = fs.estimate(np.array([0, 3]))
+        assert both == pytest.approx(2 * one, rel=0.3)
+        assert both == pytest.approx(6.0, rel=0.3)
+
+    def test_empty_seed_set(self, line_graph):
+        fs = ForwardSketches(line_graph, num_samples=2, num_hashes=8, seed=4)
+        assert fs.estimate(np.array([], dtype=np.int64)) == 0.0
+
+    def test_probability_affects_estimate(self):
+        strong = make_graph([(0, 1, 1.0)], n=2)
+        weak = make_graph([(0, 1, 0.05)], n=2)
+        fs_s = ForwardSketches(strong, num_samples=16, num_hashes=32, seed=5)
+        fs_w = ForwardSketches(weak, num_samples=16, num_hashes=32, seed=5)
+        assert fs_s.estimate(np.array([0])) > fs_w.estimate(np.array([0]))
+
+    def test_nbytes_positive(self, line_graph):
+        fs = ForwardSketches(line_graph, num_samples=2, num_hashes=4, seed=6)
+        assert fs.nbytes() == 2 * 5 * 4 * 8  # samples x n x h x float64
+
+    def test_rejects_bad_params(self, line_graph):
+        with pytest.raises(ValueError):
+            ForwardSketches(line_graph, num_samples=0)
+
+
+class TestFisSelect:
+    def test_picks_hub(self, star_graph):
+        res = fis_select(star_graph, 1, num_samples=6, num_hashes=64, seed=0)
+        assert res.seeds.tolist() == [0]
+
+    def test_two_components(self, two_triangles):
+        res = fis_select(two_triangles, 2, num_samples=6, num_hashes=64, seed=1)
+        assert len({s // 3 for s in res.seeds.tolist()}) == 2
+
+    def test_seed_count_unique(self, amazon_ic):
+        res = fis_select(amazon_ic, 5, num_samples=3, num_hashes=8, seed=2)
+        assert res.seeds.size == 5
+        assert len(set(res.seeds.tolist())) == 5
+
+    def test_candidate_restriction(self, amazon_ic):
+        cands = np.arange(50)
+        res = fis_select(
+            amazon_ic, 4, num_samples=2, num_hashes=8, seed=3, candidates=cands
+        )
+        assert set(res.seeds.tolist()) <= set(range(50))
+
+    def test_rejects_few_candidates(self, star_graph):
+        with pytest.raises(ParameterError):
+            fis_select(star_graph, 5, candidates=np.arange(2))
+
+    def test_agrees_with_reverse_sampling_quality(self, amazon_ic):
+        """FIS (forward) and IMM (reverse) should find seed sets of similar
+        quality — the two directions estimate the same objective."""
+        from repro.core import EfficientIMM, IMMParams
+        from repro.diffusion import estimate_spread, get_model
+
+        fis = fis_select(amazon_ic, 5, num_samples=6, num_hashes=32, seed=4)
+        imm = EfficientIMM(amazon_ic).run(
+            IMMParams(k=5, theta_cap=800, seed=4)
+        )
+        model = get_model("IC", amazon_ic)
+        s_fis = estimate_spread(model, fis.seeds, num_samples=60, seed=5).mean
+        s_imm = estimate_spread(model, imm.seeds, num_samples=60, seed=5).mean
+        assert s_fis >= 0.8 * s_imm
+
+    def test_determinism(self, amazon_ic):
+        a = fis_select(amazon_ic, 3, num_samples=2, num_hashes=8, seed=9)
+        b = fis_select(amazon_ic, 3, num_samples=2, num_hashes=8, seed=9)
+        assert np.array_equal(a.seeds, b.seeds)

@@ -1,0 +1,148 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import generators as gen
+from repro.graph.builder import from_edge_array
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        src, dst = gen.erdos_renyi(100, 500, seed=1)
+        assert src.size == dst.size == 500
+
+    def test_determinism(self):
+        a = gen.erdos_renyi(50, 200, seed=7)
+        b = gen.erdos_renyi(50, 200, seed=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = gen.erdos_renyi(50, 200, seed=7)
+        b = gen.erdos_renyi(50, 200, seed=8)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_ids_in_range(self):
+        src, dst = gen.erdos_renyi(10, 100, seed=2)
+        assert src.min() >= 0 and src.max() < 10
+        assert dst.min() >= 0 and dst.max() < 10
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(0, 10)
+
+
+class TestRmat:
+    def test_vertex_space(self):
+        src, dst = gen.rmat(6, 300, seed=3)
+        assert src.max() < 64 and dst.max() < 64
+
+    def test_determinism(self):
+        a = gen.rmat(8, 1000, seed=11)
+        b = gen.rmat(8, 1000, seed=11)
+        assert np.array_equal(a[0], b[0])
+
+    def test_skewed_degrees(self):
+        # Graph500 parameters must produce heavy-tailed out-degrees.
+        src, dst = gen.rmat(10, 8000, seed=5)
+        g = from_edge_array(src, dst, num_vertices=1024)
+        degs = np.asarray(g.out_degree())
+        assert degs.max() > 6 * max(degs.mean(), 1)
+
+    def test_uniform_quadrants_not_skewed(self):
+        src, _ = gen.rmat(10, 8000, a=0.25, b=0.25, c=0.25, seed=5)
+        counts = np.bincount(src, minlength=1024)
+        assert counts.max() < 10 * max(counts.mean(), 1)
+
+    def test_rejects_invalid_quadrants(self):
+        with pytest.raises(ParameterError):
+            gen.rmat(5, 10, a=0.9, b=0.2, c=0.2)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        src, dst = gen.barabasi_albert(100, 3, seed=1)
+        assert src.size == (100 - 4) * 3
+
+    def test_new_nodes_attach_to_older(self):
+        src, dst = gen.barabasi_albert(50, 2, seed=2)
+        assert np.all(dst < src)
+
+    def test_preferential_attachment_creates_hubs(self):
+        src, dst = gen.barabasi_albert(800, 2, seed=3)
+        g = from_edge_array(src, dst, num_vertices=800, make_undirected=True)
+        degs = np.asarray(g.out_degree())
+        assert degs.max() > 5 * degs.mean()
+
+    def test_rejects_m_ge_n(self):
+        with pytest.raises(ParameterError):
+            gen.barabasi_albert(5, 5)
+
+    def test_determinism(self):
+        a = gen.barabasi_albert(60, 2, seed=9)
+        b = gen.barabasi_albert(60, 2, seed=9)
+        assert np.array_equal(a[1], b[1])
+
+
+class TestWattsStrogatz:
+    def test_edge_count(self):
+        src, dst = gen.watts_strogatz(40, 4, 0.0, seed=1)
+        assert src.size == 160
+
+    def test_zero_beta_is_ring_lattice(self):
+        src, dst = gen.watts_strogatz(10, 2, 0.0, seed=1)
+        expected = {(u, (u + o) % 10) for u in range(10) for o in (1, 2)}
+        assert set(zip(src.tolist(), dst.tolist())) == expected
+
+    def test_full_beta_rewires_everything(self):
+        src, dst = gen.watts_strogatz(200, 2, 1.0, seed=4)
+        lattice = ((dst - src) % 200 <= 2) & ((dst - src) % 200 >= 1)
+        # Random endpoints rarely coincide with the lattice neighbours.
+        assert lattice.mean() < 0.1
+
+    def test_rejects_k_ge_n(self):
+        with pytest.raises(ParameterError):
+            gen.watts_strogatz(4, 4, 0.5)
+
+
+class TestPlantedPartition:
+    def test_edge_counts(self):
+        src, dst = gen.planted_partition(100, 10, 300, 50, seed=1)
+        assert src.size == 350
+
+    def test_intra_edges_stay_in_community(self):
+        src, dst = gen.planted_partition(100, 10, 400, 0, seed=2)
+        assert np.all(src // 10 == dst // 10)
+
+    def test_last_community_absorbs_remainder(self):
+        # 103 vertices, 10 communities: ids 100-102 must be reachable.
+        src, dst = gen.planted_partition(103, 10, 5000, 0, seed=3)
+        assert max(src.max(), dst.max()) >= 100
+
+    def test_rejects_more_communities_than_vertices(self):
+        with pytest.raises(ParameterError):
+            gen.planted_partition(5, 10, 10, 10)
+
+
+class TestRandomGeometric:
+    def test_edges_are_short(self):
+        src, dst = gen.random_geometric(300, 0.1, seed=1)
+        # Regenerate the points to verify the distance bound.
+        rng = np.random.default_rng(1)
+        pts = rng.random((300, 2))
+        d = np.linalg.norm(pts[src] - pts[dst], axis=1)
+        assert np.all(d <= 0.1 + 1e-12)
+
+    def test_symmetric_output(self):
+        src, dst = gen.random_geometric(200, 0.12, seed=2)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_tiny_radius_no_edges(self):
+        src, dst = gen.random_geometric(20, 1e-6, seed=3)
+        assert src.size == 0
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ParameterError):
+            gen.random_geometric(10, 0.0)

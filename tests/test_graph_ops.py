@@ -1,0 +1,140 @@
+"""Tests for graph transformations (subgraphs, components, k-cores)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.ops import core_numbers, induced_subgraph, k_core, largest_component
+
+from conftest import make_graph
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, line_graph):
+        sub, labels = induced_subgraph(line_graph, np.array([1, 2, 3]))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2  # 1->2 and 2->3
+        assert labels.tolist() == [1, 2, 3]
+
+    def test_drops_boundary_edges(self, line_graph):
+        sub, _ = induced_subgraph(line_graph, np.array([0, 2, 4]))
+        assert sub.num_edges == 0
+
+    def test_preserves_probs(self, diamond_graph):
+        sub, labels = induced_subgraph(diamond_graph, np.array([0, 2]))
+        # Only edge (0, 2, 0.5) is internal.
+        assert sub.num_edges == 1
+        assert sub.probs[0] == 0.5
+
+    def test_duplicate_input_vertices_deduped(self, line_graph):
+        sub, labels = induced_subgraph(line_graph, np.array([1, 1, 2]))
+        assert sub.num_vertices == 2
+
+    def test_rejects_out_of_range(self, line_graph):
+        with pytest.raises(ParameterError):
+            induced_subgraph(line_graph, np.array([99]))
+
+    def test_empty_selection(self, line_graph):
+        sub, labels = induced_subgraph(line_graph, np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0 and labels.size == 0
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_subgraph_edges_subset(self, seed):
+        src, dst = erdos_renyi(30, 90, seed=seed)
+        g = from_edge_array(src, dst, num_vertices=30)
+        rng = np.random.default_rng(seed)
+        verts = rng.choice(30, size=12, replace=False)
+        sub, labels = induced_subgraph(g, verts)
+        orig_edges = {(u, v) for u, v, _ in g.iter_edges()}
+        for u, v, _ in sub.iter_edges():
+            assert (labels[u], labels[v]) in orig_edges
+
+
+class TestLargestComponent:
+    def test_weak_on_two_triangles(self, two_triangles):
+        # Equal components: either is acceptable, size must be 3.
+        sub, labels = largest_component(two_triangles)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_strong_on_line_plus_cycle(self):
+        g = make_graph(
+            [(0, 1, 1.0), (1, 2, 1.0),  # line tail
+             (2, 3, 1.0), (3, 4, 1.0), (4, 2, 1.0)],  # 3-cycle
+            n=5,
+        )
+        sub, labels = largest_component(g, strong=True)
+        assert sorted(labels.tolist()) == [2, 3, 4]
+
+    def test_empty_graph(self, empty_graph):
+        sub, labels = largest_component(empty_graph)
+        assert sub.num_vertices == 0
+
+    def test_connected_graph_unchanged_size(self, cycle_graph):
+        sub, _ = largest_component(cycle_graph, strong=True)
+        assert sub.num_vertices == cycle_graph.num_vertices
+
+
+class TestCoreNumbers:
+    def test_cycle_is_2_core(self, cycle_graph):
+        # Directed cycle symmetrises to degree 2 everywhere.
+        assert np.all(core_numbers(cycle_graph) == 2)
+
+    def test_star_core_one(self, star_graph):
+        cores = core_numbers(star_graph)
+        assert np.all(cores == 1)  # every leaf peels at degree 1, hub too
+
+    def test_clique_core(self):
+        edges = [(i, j, 1.0) for i in range(5) for j in range(5) if i != j]
+        g = make_graph(edges, n=5)
+        # 5-clique with both directions: symmetrised degree 8, core 8.
+        assert np.all(core_numbers(g) == 8)
+
+    def test_isolated_zero(self, isolated_graph):
+        assert np.all(core_numbers(isolated_graph) == 0)
+
+    def test_monotone_under_edge_removal(self):
+        full = make_graph(
+            [(i, j, 1.0) for i in range(4) for j in range(4) if i != j], n=4
+        )
+        partial = make_graph([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], n=4)
+        assert np.all(core_numbers(partial) <= core_numbers(full))
+
+
+class TestKCore:
+    def test_peels_tail(self):
+        # Triangle (both directions) with a pendant vertex.
+        edges = [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3)]
+        g = make_graph([(u, v, 1.0) for u, v in edges], n=4)
+        sub, labels = k_core(g, 2)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+    def test_zero_core_is_everything(self, line_graph):
+        sub, _ = k_core(line_graph, 0)
+        assert sub.num_vertices == line_graph.num_vertices
+
+    def test_too_high_k_empty(self, line_graph):
+        sub, _ = k_core(line_graph, 99)
+        assert sub.num_vertices == 0
+
+    def test_rejects_negative_k(self, line_graph):
+        with pytest.raises(ParameterError):
+            k_core(line_graph, -1)
+
+    def test_k_core_property_holds(self):
+        # In the returned subgraph every vertex has symmetrised degree >= k.
+        rng_src, rng_dst = erdos_renyi(60, 300, seed=9)
+        g = from_edge_array(rng_src, rng_dst, num_vertices=60)
+        k = 4
+        sub, _ = k_core(g, k)
+        if sub.num_vertices:
+            s, d, _ = sub.edge_array()
+            deg = np.bincount(s, minlength=sub.num_vertices) + np.bincount(
+                d, minlength=sub.num_vertices
+            )
+            assert deg.min() >= k

@@ -1,0 +1,104 @@
+"""Tests for CELF greedy and IMM-vs-greedy solution quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import EfficientIMM, IMMParams, celf_greedy
+from repro.diffusion.base import get_model
+from repro.diffusion.spread import estimate_spread
+from repro.errors import ParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.weights import assign_ic_weights
+
+from conftest import make_graph
+
+
+@pytest.fixture(scope="module")
+def small_ic():
+    src, dst = erdos_renyi(40, 160, seed=11)
+    return assign_ic_weights(
+        from_edge_array(src, dst, num_vertices=40), seed=11, scale=0.4
+    )
+
+
+class TestCelfGreedy:
+    def test_picks_obvious_hub(self):
+        g = make_graph([(0, i, 1.0) for i in range(1, 10)], n=10)
+        model = get_model("IC", g)
+        res = celf_greedy(model, 1, num_samples=20, seed=0)
+        assert res.seeds.tolist() == [0]
+        assert res.spread == pytest.approx(10.0)
+
+    def test_two_components_two_seeds(self, two_triangles):
+        model = get_model("IC", two_triangles)
+        res = celf_greedy(model, 2, num_samples=20, seed=0)
+        # One seed per triangle covers everything.
+        assert {s % 3 for s in []} == set()  # placeholder structure guard
+        assert len({s // 3 for s in res.seeds.tolist()}) == 2
+        assert res.spread == pytest.approx(6.0)
+
+    def test_seed_count(self, small_ic):
+        model = get_model("IC", small_ic)
+        res = celf_greedy(model, 5, num_samples=25, seed=1)
+        assert res.seeds.size == 5
+        assert len(set(res.seeds.tolist())) == 5
+
+    def test_lazy_evaluation_saves_work(self, small_ic):
+        model = get_model("IC", small_ic)
+        res = celf_greedy(model, 4, num_samples=25, seed=2)
+        # Naive greedy would do ~ n*k evaluations; CELF far fewer.
+        assert res.num_evaluations < 40 * 4
+
+    def test_candidate_restriction(self, small_ic):
+        model = get_model("IC", small_ic)
+        cands = np.arange(10)
+        res = celf_greedy(model, 3, num_samples=20, seed=3, candidates=cands)
+        assert set(res.seeds.tolist()) <= set(range(10))
+
+    def test_rejects_k_above_candidates(self, small_ic):
+        model = get_model("IC", small_ic)
+        with pytest.raises(ParameterError):
+            celf_greedy(model, 5, candidates=np.arange(3))
+
+    def test_rejects_k_above_n(self, two_triangles):
+        model = get_model("IC", two_triangles)
+        with pytest.raises(ParameterError):
+            celf_greedy(model, 7)
+
+
+class TestIMMQuality:
+    """IMM's guarantee: spread within (1 - 1/e - eps) of optimum.  We test
+    against CELF greedy (itself (1-1/e)-optimal) with slack for MC noise."""
+
+    def test_imm_matches_greedy_spread(self, small_ic):
+        model = get_model("IC", small_ic)
+        k = 4
+        greedy = celf_greedy(model, k, num_samples=60, seed=4)
+        imm = EfficientIMM(small_ic).run(
+            IMMParams(k=k, epsilon=0.5, seed=4, theta_cap=4000)
+        )
+        g_spread = estimate_spread(
+            model, greedy.seeds, num_samples=300, seed=5
+        ).mean
+        i_spread = estimate_spread(
+            model, imm.seeds, num_samples=300, seed=5
+        ).mean
+        # (1 - 1/e - 0.5)/(1 - 1/e) of greedy is the theory floor (~0.21);
+        # in practice IMM lands close to greedy — assert a generous 0.75.
+        assert i_spread >= 0.75 * g_spread
+
+    def test_imm_beats_random_seeds(self, small_ic):
+        model = get_model("IC", small_ic)
+        rng = np.random.default_rng(6)
+        imm = EfficientIMM(small_ic).run(
+            IMMParams(k=4, epsilon=0.5, seed=6, theta_cap=4000)
+        )
+        i_spread = estimate_spread(model, imm.seeds, num_samples=200, seed=7).mean
+        rand_spread = np.mean([
+            estimate_spread(
+                model, rng.choice(40, 4, replace=False), num_samples=100, seed=8
+            ).mean
+            for _ in range(5)
+        ])
+        assert i_spread > rand_spread

@@ -1,0 +1,238 @@
+"""Tests for SNAP edge-list and npz graph I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import (
+    load_npz,
+    read_snap_edgelist,
+    save_npz,
+    write_snap_edgelist,
+)
+
+from conftest import make_graph
+
+
+class TestSnapReader:
+    def test_basic_parse(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n0 1\n1 2\n\n2 0\n")
+        g = read_snap_edgelist(p)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_parse_with_probs(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 0.25\n1 2 0.75\n")
+        g = read_snap_edgelist(p)
+        assert sorted(g.probs.tolist()) == [0.25, 0.75]
+
+    def test_tabs_and_spaces(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\t1\n1   2\n")
+        assert read_snap_edgelist(p).num_edges == 2
+
+    def test_gzip_suffix(self, tmp_path):
+        p = tmp_path / "g.txt.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write("0 1\n1 0\n")
+        assert read_snap_edgelist(p).num_edges == 2
+
+    def test_relabel_sparse_ids(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("1000 2000\n")
+        g = read_snap_edgelist(p, relabel=True)
+        assert g.num_vertices == 2
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("3 7\n")
+        g = read_snap_edgelist(p, relabel=False)
+        assert g.num_vertices == 8
+
+    def test_make_undirected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        g = read_snap_edgelist(p, make_undirected=True)
+        assert g.num_edges == 2
+
+    def test_rejects_garbage_line(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\nnot numbers\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_snap_edgelist(p)
+
+    def test_rejects_wrong_field_count(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_snap_edgelist(p)
+
+    def test_rejects_bad_probability(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 xyz\n")
+        with pytest.raises(GraphFormatError, match="bad probability"):
+            read_snap_edgelist(p)
+
+    def test_error_reports_line_number(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n0 1\nbroken\n")
+        with pytest.raises(GraphFormatError, match=":3"):
+            read_snap_edgelist(p)
+
+
+class TestRoundTrips:
+    def test_snap_roundtrip(self, tmp_path, diamond_graph):
+        p = tmp_path / "g.txt"
+        write_snap_edgelist(diamond_graph, p)
+        back = read_snap_edgelist(p, relabel=False)
+        assert back == diamond_graph
+
+    def test_snap_roundtrip_gz(self, tmp_path, diamond_graph):
+        p = tmp_path / "g.txt.gz"
+        write_snap_edgelist(diamond_graph, p)
+        assert read_snap_edgelist(p, relabel=False) == diamond_graph
+
+    def test_snap_without_probs(self, tmp_path, line_graph):
+        p = tmp_path / "g.txt"
+        write_snap_edgelist(line_graph, p, write_probs=False)
+        back = read_snap_edgelist(p, relabel=False, default_prob=1.0)
+        assert back == line_graph
+
+    def test_header_written_as_comments(self, tmp_path, line_graph):
+        p = tmp_path / "g.txt"
+        write_snap_edgelist(line_graph, p, header="hello\nworld")
+        text = p.read_text()
+        assert "# hello" in text and "# world" in text
+
+    def test_npz_roundtrip(self, tmp_path, diamond_graph):
+        p = tmp_path / "g.npz"
+        save_npz(diamond_graph, p)
+        assert load_npz(p) == diamond_graph
+
+    def test_npz_roundtrip_empty(self, tmp_path, empty_graph):
+        p = tmp_path / "g.npz"
+        save_npz(empty_graph, p)
+        assert load_npz(p).num_vertices == 0
+
+    def test_npz_rejects_foreign_archive(self, tmp_path):
+        p = tmp_path / "x.npz"
+        np.savez(p, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(p)
+
+    def test_npz_isolated_vertices_survive(self, tmp_path):
+        g = make_graph([(0, 1, 1.0)], n=50)
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        assert load_npz(p).num_vertices == 50
+
+
+class TestMatrixMarket:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "g.mtx"
+        p.write_text(text)
+        return p
+
+    def test_basic_real_general(self, tmp_path):
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "3 3 2\n"
+            "1 2 0.5\n"
+            "2 3 0.25\n",
+        )
+        g = read_matrix_market(p)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.edge_probs(0)[0] == 0.5
+
+    def test_pattern_field(self, tmp_path):
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "1 2\n",
+        )
+        g = read_matrix_market(p, default_prob=0.3)
+        assert g.probs[0] == 0.3
+
+    def test_symmetric_expands(self, tmp_path):
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 1\n"
+            "1 3 0.7\n",
+        )
+        g = read_matrix_market(p)
+        assert g.num_edges == 2
+        assert list(g.neighbors(2)) == [0]
+
+    def test_one_based_ids(self, tmp_path):
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "2 1 1.0\n",
+        )
+        g = read_matrix_market(p)
+        assert list(g.neighbors(1)) == [0]
+
+    def test_rejects_non_mm(self, tmp_path):
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(tmp_path, "not matrix market\n1 1 1\n")
+        with pytest.raises(GraphFormatError, match="not a MatrixMarket"):
+            read_matrix_market(p)
+
+    def test_rejects_rectangular(self, tmp_path):
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n3 4 0\n",
+        )
+        with pytest.raises(GraphFormatError, match="square"):
+            read_matrix_market(p)
+
+    def test_rejects_unsupported_symmetry(self, tmp_path):
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 0\n",
+        )
+        with pytest.raises(GraphFormatError, match="symmetry"):
+            read_matrix_market(p)
+
+    def test_roundtrip(self, tmp_path, diamond_graph):
+        from repro.graph.io import read_matrix_market, write_matrix_market
+
+        p = tmp_path / "g.mtx"
+        write_matrix_market(diamond_graph, p)
+        assert read_matrix_market(p) == diamond_graph
+
+    def test_missing_size_line(self, tmp_path):
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_matrix_market
+
+        p = self._write(
+            tmp_path, "%%MatrixMarket matrix coordinate real general\n"
+        )
+        with pytest.raises(GraphFormatError, match="size line"):
+            read_matrix_market(p)

@@ -1,0 +1,130 @@
+"""Tests for structural graph analysis (SCC/WCC, degrees, Tarjan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.properties import (
+    degree_stats,
+    largest_component_fraction,
+    strongly_connected_components,
+    tarjan_scc,
+    weakly_connected_components,
+)
+
+from conftest import make_graph
+
+
+class TestSCC:
+    def test_cycle_is_one_scc(self, cycle_graph):
+        count, labels = strongly_connected_components(cycle_graph)
+        assert count == 1
+        assert len(set(labels.tolist())) == 1
+
+    def test_line_is_all_singletons(self, line_graph):
+        count, _ = strongly_connected_components(line_graph)
+        assert count == 5
+
+    def test_two_triangles(self, two_triangles):
+        count, labels = strongly_connected_components(two_triangles)
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_empty_graph(self, empty_graph):
+        count, labels = strongly_connected_components(empty_graph)
+        assert count == 0 and labels.size == 0
+
+
+class TestWCC:
+    def test_line_is_one_wcc(self, line_graph):
+        count, _ = weakly_connected_components(line_graph)
+        assert count == 1
+
+    def test_two_triangles_two_wcc(self, two_triangles):
+        count, _ = weakly_connected_components(two_triangles)
+        assert count == 2
+
+
+class TestLargestComponentFraction:
+    def test_cycle_full(self, cycle_graph):
+        assert largest_component_fraction(cycle_graph) == 1.0
+
+    def test_line_weak_full(self, line_graph):
+        assert largest_component_fraction(line_graph, strong=False) == 1.0
+
+    def test_line_strong_small(self, line_graph):
+        assert largest_component_fraction(line_graph, strong=True) == 1 / 5
+
+    def test_empty(self, empty_graph):
+        assert largest_component_fraction(empty_graph) == 0.0
+
+
+class TestDegreeStats:
+    def test_star_out(self, star_graph):
+        stats = degree_stats(star_graph, direction="out")
+        assert stats.maximum == 8
+        assert stats.mean == pytest.approx(8 / 9)
+
+    def test_star_in(self, star_graph):
+        stats = degree_stats(star_graph, direction="in")
+        assert stats.maximum == 1
+
+    def test_star_is_skewed(self):
+        g = make_graph([(0, i, 1.0) for i in range(1, 200)], n=200)
+        assert degree_stats(g).skewed
+
+    def test_regular_not_skewed(self, cycle_graph):
+        assert not degree_stats(cycle_graph).skewed
+
+    def test_gini_zero_for_regular(self, cycle_graph):
+        assert degree_stats(cycle_graph).gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_high_for_star(self, star_graph):
+        assert degree_stats(star_graph).gini > 0.8
+
+    def test_rejects_bad_direction(self, star_graph):
+        with pytest.raises(ValueError):
+            degree_stats(star_graph, direction="sideways")
+
+    def test_empty(self, empty_graph):
+        s = degree_stats(empty_graph)
+        assert s.mean == 0.0 and s.maximum == 0
+
+
+class TestTarjanAgreesWithScipy:
+    def _labels_to_partition(self, labels):
+        part = {}
+        for v, c in enumerate(labels.tolist()):
+            part.setdefault(c, set()).add(v)
+        return {frozenset(s) for s in part.values()}
+
+    def test_fixed_graphs(self, cycle_graph, line_graph, two_triangles):
+        for g in (cycle_graph, line_graph, two_triangles):
+            _, scipy_labels = strongly_connected_components(g)
+            ours = tarjan_scc(g)
+            assert self._labels_to_partition(ours) == self._labels_to_partition(
+                scipy_labels
+            )
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, seed):
+        src, dst = erdos_renyi(40, 120, seed=seed)
+        g = from_edge_array(src, dst, num_vertices=40)
+        _, scipy_labels = strongly_connected_components(g)
+        ours = tarjan_scc(g)
+        assert self._labels_to_partition(ours) == self._labels_to_partition(
+            scipy_labels
+        )
+
+    def test_deep_graph_no_recursion_limit(self):
+        # 5000-vertex path: a recursive Tarjan would blow the stack.
+        n = 5000
+        g = make_graph([(i, i + 1, 1.0) for i in range(n - 1)], n=n)
+        labels = tarjan_scc(g)
+        assert len(set(labels.tolist())) == n

@@ -1,0 +1,95 @@
+"""Public-API contract tests: the documented surface stays importable,
+documented, and coherent."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.diffusion",
+    "repro.sketch",
+    "repro.core",
+    "repro.runtime",
+    "repro.simmachine",
+    "repro.distributed",
+    "repro.bench",
+]
+
+
+class TestTopLevel:
+    def test_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_quickstart_surface(self):
+        # The README's import line must keep working verbatim.
+        from repro import (  # noqa: F401
+            EfficientIMM,
+            IMMParams,
+            RipplesIMM,
+            estimate_spread,
+            get_model,
+            load_dataset,
+        )
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("pkg", SUBPACKAGES)
+    def test_imports_and_all_resolves(self, pkg):
+        mod = importlib.import_module(pkg)
+        assert mod.__doc__, f"{pkg} has no module docstring"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{pkg}.{name} in __all__ but missing"
+
+    @pytest.mark.parametrize("pkg", SUBPACKAGES)
+    def test_public_items_documented(self, pkg):
+        mod = importlib.import_module(pkg)
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{pkg}.{name} lacks a docstring"
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()
+
+
+class TestCoreModuleDocs:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core.martingale",
+            "repro.core.sampling",
+            "repro.core.selection",
+            "repro.core.imm",
+            "repro.core.opim",
+            "repro.core.tim",
+            "repro.core.fis",
+            "repro.core.heuristics",
+            "repro.simmachine.cost",
+            "repro.simmachine.cache",
+            "repro.simmachine.instrumented",
+            "repro.distributed.dimm",
+            "repro.distributed.dripples",
+            "repro.bench.sweep",
+            "repro.validate",
+        ],
+    )
+    def test_every_public_function_documented(self, module):
+        mod = importlib.import_module(module)
+        for name, obj in vars(mod).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module:
+                continue
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert inspect.getdoc(obj), f"{module}.{name} lacks a docstring"

@@ -1,0 +1,126 @@
+"""Tests for the bench reporting utilities and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import Table, format_ratio, format_speedup
+from repro.cli import build_parser, main
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Demo", ["name", "value"])
+        t.add_row("alpha", 1.0)
+        t.add_row("b", 12345.678)
+        out = t.render()
+        assert "== Demo ==" in out
+        assert "alpha" in out and "12,346" in out
+
+    def test_rejects_wrong_arity(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_notes_rendered(self):
+        t = Table("Demo", ["a"])
+        t.add_note("caveat")
+        assert "* caveat" in t.render()
+
+    def test_float_formats(self):
+        t = Table("Demo", ["x"])
+        t.add_row(0.0)
+        t.add_row(0.123456)
+        t.add_row(42.0)
+        out = t.render()
+        assert "0.123" in out and "42.0" in out
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = Table("Demo", ["a", "b"])
+        t.add_row("x", 1)
+        p = tmp_path / "t.csv"
+        t.to_csv(p)
+        lines = p.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "x,1"
+
+    def test_empty_table_renders(self):
+        assert "Empty" in Table("Empty", ["a"]).render()
+
+
+class TestFormatters:
+    def test_speedup(self):
+        assert format_speedup(5.94) == "5.9x"
+
+    def test_ratio(self):
+        assert "paper" in format_ratio(0.62, 0.61)
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "amazon", "--k", "5"])
+        assert args.dataset == "amazon" and args.k == 5
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "youtube" in out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "com-Amazon" in out and "Twitter7" in out
+
+    def test_run_command(self, capsys):
+        rc = main([
+            "run", "skitter", "--k", "3", "--theta-cap", "200", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seeds:" in out and "Generate_RRRsets" in out
+
+    def test_run_ripples_framework(self, capsys):
+        rc = main([
+            "run", "skitter", "--k", "2", "--theta-cap", "100",
+            "--framework", "ripples",
+        ])
+        assert rc == 0
+
+    def test_run_with_spread(self, capsys):
+        rc = main([
+            "run", "skitter", "--k", "2", "--theta-cap", "100",
+            "--estimate-spread",
+        ])
+        assert rc == 0
+        assert "MC spread" in capsys.readouterr().out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCLIExtended:
+    def test_experiment_csv_flag(self, tmp_path, capsys):
+        rc = main(["experiment", "fig1", "--csv", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig1.csv").exists()
+        header = (tmp_path / "fig1.csv").read_text().splitlines()[0]
+        assert header.startswith("Model,")
+
+    def test_validate_command(self, capsys):
+        rc = main(["validate", "--dataset", "skitter", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "statistical checks passed" in out
+        assert rc == 0
+
+    def test_sweep_then_extract(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "sweep", "--datasets", "skitter", "--models", "IC",
+            "--k", "5", "--seed", "2",
+        ])
+        assert rc == 0
+        rc = main(["extract-results"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup_ic.csv" in out

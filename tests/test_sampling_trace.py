@@ -1,0 +1,77 @@
+"""Tests for the exact Generate_RRRsets memory trace."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.simmachine.instrumented import SamplingTraceResult, trace_sampling
+from repro.simmachine.topology import perlmutter
+
+
+@pytest.fixture(scope="module")
+def google_ic():
+    return load_dataset("google", model="IC", seed=0)
+
+
+class TestTraceSampling:
+    def test_basic_counts(self, google_ic):
+        res = trace_sampling(google_ic, 6, 2, perlmutter(), seed=1)
+        assert res.num_sets == 6
+        assert len(res.per_thread) == 2
+        total = res.total
+        assert total.l1_hits + total.l1_misses > 0
+
+    def test_numa_local_placement_wins(self, google_ic):
+        # Table II's direction from exact traces: binding everything to
+        # node 0 costs more DRAM time than worker-local placement.
+        res = trace_sampling(google_ic, 6, 4, perlmutter(), seed=2)
+        assert res.numa_benefit > 1.0
+        assert res.dram_ns_bind > res.dram_ns_local
+
+    def test_fused_adds_counter_traffic(self, google_ic):
+        unfused = trace_sampling(
+            google_ic, 5, 2, perlmutter(), fused=False, seed=3
+        )
+        fused = trace_sampling(
+            google_ic, 5, 2, perlmutter(), fused=True, seed=3
+        )
+        tot_u = unfused.total
+        tot_f = fused.total
+        assert (tot_f.l1_hits + tot_f.l1_misses) > (
+            tot_u.l1_hits + tot_u.l1_misses
+        )
+
+    def test_deterministic(self, google_ic):
+        a = trace_sampling(google_ic, 4, 2, perlmutter(), seed=5)
+        b = trace_sampling(google_ic, 4, 2, perlmutter(), seed=5)
+        assert a.total.total_misses == b.total.total_misses
+        assert a.dram_ns_local == b.dram_ns_local
+
+    def test_threads_partition_sets(self, google_ic):
+        res = trace_sampling(google_ic, 8, 4, perlmutter(), seed=6)
+        # Every thread's cache saw some traffic (2 sets each).
+        for c in res.per_thread:
+            assert c.l1_hits + c.l1_misses > 0
+
+
+class TestLTTrace:
+    def test_lt_trace_runs(self):
+        from repro.graph.datasets import load_dataset
+
+        g = load_dataset("amazon", model="LT", seed=0)
+        res = trace_sampling(g, 30, 2, perlmutter(), model="LT", seed=1)
+        assert res.num_sets == 30
+        assert res.total.l1_hits + res.total.l1_misses > 0
+
+    def test_lt_traffic_far_below_ic(self):
+        from repro.graph.datasets import load_dataset
+
+        g_lt = load_dataset("amazon", model="LT", seed=0)
+        g_ic = load_dataset("amazon", model="IC", seed=0)
+        topo = perlmutter()
+        lt = trace_sampling(g_lt, 10, 2, topo, model="LT", seed=2)
+        ic = trace_sampling(g_ic, 10, 2, topo, model="IC", seed=2)
+        lt_total = lt.total.l1_hits + lt.total.l1_misses
+        ic_total = ic.total.l1_hits + ic.total.l1_misses
+        # LT sets are tiny paths; per-set traffic is orders below IC's.
+        assert lt_total < 0.05 * ic_total

@@ -1,0 +1,264 @@
+"""Tests for both Find_Most_Influential_Set kernels.
+
+The crucial contract: EfficientIMM's and Ripples' selections are different
+*executions* of the same greedy max-cover, so their seeds must be identical
+on every input, and both must match a brute-force greedy reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.sketch.store import FlatRRRStore
+from repro.core.selection import (
+    efficient_select,
+    ripples_select,
+    segmented_membership,
+)
+
+
+def store_of(sets, n, sort=True):
+    s = FlatRRRStore(n, sort_sets=sort)
+    for x in sets:
+        s.append(np.asarray(x, dtype=np.int32))
+    return s
+
+
+def greedy_reference(sets, n, k):
+    """Brute-force greedy max-cover with lowest-id tie-breaking."""
+    sets = [set(x) for x in sets]
+    covered = [False] * len(sets)
+    seeds = []
+    for _ in range(k):
+        counts = np.zeros(n, dtype=np.int64)
+        for flag, s in zip(covered, sets):
+            if not flag:
+                for v in s:
+                    counts[v] += 1
+        counts[np.asarray(seeds, dtype=np.int64)] = -1 if seeds else counts[[]]
+        v = int(np.argmax(counts))
+        if counts[v] <= 0:
+            # All covered: fill with the lowest unchosen ids.
+            for u in range(n):
+                if u not in seeds:
+                    seeds.append(u)
+                    break
+            continue
+        seeds.append(v)
+        for i, s in enumerate(sets):
+            if v in s:
+                covered[i] = True
+    return seeds
+
+
+class TestSegmentedMembership:
+    def test_finds_containing_sets(self):
+        s = store_of([[1, 5, 9], [2, 5], [0, 3]], 10)
+        active = np.ones(3, dtype=bool)
+        assert segmented_membership(s, 5, active).tolist() == [0, 1]
+
+    def test_respects_active_mask(self):
+        s = store_of([[1, 5], [5], [5, 7]], 10)
+        active = np.array([True, False, True])
+        assert segmented_membership(s, 5, active).tolist() == [0, 2]
+
+    def test_absent_vertex(self):
+        s = store_of([[1, 2], [3]], 10)
+        assert segmented_membership(s, 9, np.ones(2, dtype=bool)).size == 0
+
+    def test_empty_sets_handled(self):
+        s = store_of([[], [4], []], 10)
+        assert segmented_membership(s, 4, np.ones(3, dtype=bool)).tolist() == [1]
+
+    def test_no_active_sets(self):
+        s = store_of([[1]], 10)
+        assert segmented_membership(s, 1, np.zeros(1, dtype=bool)).size == 0
+
+    def test_boundary_vertices(self):
+        s = store_of([[0, 9]], 10)
+        active = np.ones(1, dtype=bool)
+        assert segmented_membership(s, 0, active).tolist() == [0]
+        assert segmented_membership(s, 9, active).tolist() == [0]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 19), min_size=0, max_size=15),
+            min_size=1, max_size=25,
+        ),
+        st.integers(0, 19),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive(self, sets, v):
+        s = store_of(sets, 20)
+        active = np.ones(len(sets), dtype=bool)
+        got = set(segmented_membership(s, v, active).tolist())
+        expected = {i for i, x in enumerate(sets) if v in x}
+        assert got == expected
+
+
+class TestEfficientSelect:
+    def test_obvious_winner(self):
+        s = store_of([[0, 1], [0, 2], [0, 3], [4]], 5)
+        res = efficient_select(s, 1)
+        assert res.seeds.tolist() == [0]
+        assert res.coverage_fraction == 0.75
+
+    def test_two_seeds_cover_all(self):
+        s = store_of([[0, 1], [0, 2], [3], [3, 4]], 5)
+        res = efficient_select(s, 2)
+        assert res.seeds.tolist() == [0, 3]
+        assert res.coverage_fraction == 1.0
+
+    def test_tie_breaks_to_lowest_id(self):
+        s = store_of([[2], [4]], 5)
+        res = efficient_select(s, 1)
+        assert res.seeds[0] == 2
+
+    def test_fill_after_full_coverage(self):
+        s = store_of([[3]], 5)
+        res = efficient_select(s, 3)
+        assert res.seeds.tolist() == [3, 0, 1]  # fill picks lowest unchosen
+
+    def test_seeds_unique(self):
+        s = store_of([[0, 1, 2], [0, 1], [2, 3]], 6)
+        res = efficient_select(s, 4)
+        assert len(set(res.seeds.tolist())) == 4
+
+    def test_initial_counter_shortcut_same_result(self):
+        s = store_of([[0, 1], [1, 2], [2]], 4)
+        counter = s.vertex_counts()
+        a = efficient_select(s, 2)
+        b = efficient_select(s, 2, initial_counter=counter)
+        assert np.array_equal(a.seeds, b.seeds)
+
+    def test_initial_counter_not_mutated(self):
+        s = store_of([[0, 1], [1, 2]], 4)
+        counter = s.vertex_counts()
+        before = counter.copy()
+        efficient_select(s, 2, initial_counter=counter)
+        assert np.array_equal(counter, before)
+
+    def test_adaptive_off_same_seeds(self):
+        s = store_of([[0, 1, 2], [0, 3], [1, 2], [4]], 6)
+        a = efficient_select(s, 3, adaptive_update=True)
+        b = efficient_select(s, 3, adaptive_update=False)
+        assert np.array_equal(a.seeds, b.seeds)
+
+    def test_adaptive_off_costs_more(self, amazon_ic):
+        from repro.core.sampling import RRRSampler, SamplingConfig
+        from repro.diffusion.base import get_model
+
+        sampler = RRRSampler(
+            get_model("IC", amazon_ic), SamplingConfig.efficientimm(), seed=0
+        )
+        sampler.extend(120)
+        on = efficient_select(sampler.store, 10, adaptive_update=True)
+        off = efficient_select(sampler.store, 10, adaptive_update=False)
+        assert np.array_equal(on.seeds, off.seeds)
+        assert (
+            off.stats.total_memory_ops > 3.0 * on.stats.total_memory_ops
+        )
+
+    def test_round_records(self):
+        s = store_of([[0, 1], [0, 2], [3]], 5)
+        res = efficient_select(s, 2)
+        assert res.rounds[0]["seed"] == 0
+        assert res.rounds[0]["new_covered_sets"] == 2
+        assert res.rounds[0]["method"] in ("rebuild", "decrement")
+
+    def test_multithread_same_seeds(self):
+        rng = np.random.default_rng(0)
+        sets = [rng.integers(0, 50, size=rng.integers(1, 20)) for _ in range(60)]
+        s = store_of(sets, 50)
+        base = efficient_select(s, 8, num_threads=1).seeds
+        for p in (2, 3, 7, 16):
+            assert np.array_equal(efficient_select(s, 8, num_threads=p).seeds, base)
+
+    def test_rejects_empty_store(self):
+        with pytest.raises(ParameterError):
+            efficient_select(FlatRRRStore(5), 1)
+
+    def test_rejects_k_above_n(self):
+        s = store_of([[0]], 2)
+        with pytest.raises(ParameterError):
+            efficient_select(s, 3)
+
+    def test_rejects_bad_threads(self):
+        s = store_of([[0]], 2)
+        with pytest.raises(ParameterError):
+            efficient_select(s, 1, num_threads=0)
+
+
+class TestRipplesSelect:
+    def test_requires_sorted_store(self):
+        s = FlatRRRStore(5, sort_sets=False)
+        s.append(np.array([0, 1]))
+        with pytest.raises(ParameterError, match="sort_sets"):
+            ripples_select(s, 1)
+
+    def test_same_result_as_efficient(self):
+        s = store_of([[0, 1], [0, 2], [0, 3], [4]], 5)
+        assert ripples_select(s, 2).seeds.tolist() == efficient_select(
+            s, 2
+        ).seeds.tolist()
+
+    def test_multithread_same_seeds(self):
+        rng = np.random.default_rng(1)
+        sets = [rng.integers(0, 40, size=rng.integers(1, 15)) for _ in range(50)]
+        s = store_of(sets, 40)
+        base = ripples_select(s, 6, num_threads=1).seeds
+        for p in (2, 5, 8):
+            assert np.array_equal(ripples_select(s, 6, num_threads=p).seeds, base)
+
+    def test_work_scales_with_threads(self):
+        rng = np.random.default_rng(2)
+        sets = [rng.integers(0, 100, size=20) for _ in range(80)]
+        s = store_of(sets, 100)
+        w1 = ripples_select(s, 5, num_threads=1).stats.total_memory_ops
+        w4 = ripples_select(s, 5, num_threads=4).stats.total_memory_ops
+        # The paper's Challenge 1: total traffic grows with threads.
+        assert w4 > 2.0 * w1
+
+    def test_efficient_work_does_not_scale_with_threads(self):
+        rng = np.random.default_rng(3)
+        sets = [rng.integers(0, 100, size=20) for _ in range(80)]
+        s = store_of(sets, 100)
+        w1 = efficient_select(s, 5, num_threads=1).stats.total_memory_ops
+        w8 = efficient_select(s, 5, num_threads=8).stats.total_memory_ops
+        assert w8 < 1.5 * w1  # work-efficient: only reduction scans grow
+
+
+class TestKernelEquivalence:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 24), min_size=0, max_size=12, unique=True),
+            min_size=1, max_size=30,
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_three_way_agreement(self, sets, k):
+        n = 25
+        s = store_of(sets, n)
+        ref = greedy_reference(sets, n, k)
+        eff = efficient_select(s, k, num_threads=3).seeds.tolist()
+        rip = ripples_select(s, k, num_threads=2).seeds.tolist()
+        assert eff == ref
+        assert rip == ref
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 24), min_size=1, max_size=12, unique=True),
+            min_size=1, max_size=30,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_fraction_correct(self, sets):
+        n, k = 25, 3
+        s = store_of(sets, n)
+        res = efficient_select(s, k)
+        seeds = set(res.seeds.tolist()[:k])
+        expected = sum(bool(seeds & set(x)) for x in sets) / len(sets)
+        assert res.coverage_fraction == pytest.approx(expected)

@@ -1,0 +1,172 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmachine.cache import (
+    AccessCounts,
+    CacheHierarchy,
+    CacheSim,
+    compress_lines,
+)
+from repro.simmachine.topology import CacheGeometry
+
+
+def tiny_geom(sets=4, ways=2, line=64):
+    return CacheGeometry(sets * ways * line, ways=ways, line_bytes=line)
+
+
+class TestCompressLines:
+    def test_collapses_runs(self):
+        addrs = np.array([0, 8, 16, 64, 65, 128])
+        lines, collapsed = compress_lines(addrs, 64)
+        assert lines.tolist() == [0, 1, 2]
+        assert collapsed == 3
+
+    def test_alternating_not_collapsed(self):
+        addrs = np.array([0, 64, 0, 64])
+        lines, collapsed = compress_lines(addrs, 64)
+        assert lines.tolist() == [0, 1, 0, 1]
+        assert collapsed == 0
+
+    def test_empty(self):
+        lines, collapsed = compress_lines(np.empty(0, dtype=np.int64), 64)
+        assert lines.size == 0 and collapsed == 0
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        c = CacheSim(tiny_geom())
+        missed = c.access_lines(np.array([5, 5, 5]))
+        assert missed.tolist() == [5]
+        assert c.hits == 2 and c.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        # 1 set, 2 ways: lines 0, 4, 8 map to the same set (num_sets=4
+        # means same-set lines differ by 4).
+        c = CacheSim(tiny_geom(sets=4, ways=2))
+        c.access_lines(np.array([0, 4]))  # fill the set
+        c.access_lines(np.array([8]))  # evicts LRU line 0
+        missed = c.access_lines(np.array([0]))
+        assert missed.tolist() == [0]
+
+    def test_lru_refresh_on_hit(self):
+        c = CacheSim(tiny_geom(sets=4, ways=2))
+        c.access_lines(np.array([0, 4]))
+        c.access_lines(np.array([0]))  # refresh 0: now 4 is LRU
+        c.access_lines(np.array([8]))  # evicts 4
+        assert c.access_lines(np.array([0])).size == 0  # 0 still resident
+        assert c.access_lines(np.array([4])).tolist() == [4]
+
+    def test_different_sets_independent(self):
+        c = CacheSim(tiny_geom(sets=4, ways=1))
+        c.access_lines(np.array([0, 1, 2, 3]))
+        # All four lines landed in distinct sets: all still resident.
+        assert c.access_lines(np.array([0, 1, 2, 3])).size == 0
+
+    def test_reset(self):
+        c = CacheSim(tiny_geom())
+        c.access_lines(np.array([1]))
+        c.reset()
+        assert c.hits == 0 and c.misses == 0
+        assert c.access_lines(np.array([1])).tolist() == [1]
+
+
+class TestCacheHierarchy:
+    def make(self):
+        return CacheHierarchy(tiny_geom(sets=2, ways=2), tiny_geom(sets=8, ways=2))
+
+    def test_l1_hit_path(self):
+        h = self.make()
+        got = h.access(np.array([0, 0, 0, 0]))
+        assert got.l1_misses == 1
+        assert got.l1_hits == 3
+        assert got.l2_misses == 1
+
+    def test_l2_catches_l1_evictions(self):
+        h = self.make()
+        # L1 = 2 sets x 2 ways = 4 lines; stream 8 distinct lines then
+        # revisit: L1 misses again but L2 (16 lines) holds them.
+        lines = np.arange(8) * 64
+        h.access(lines)
+        got = h.access(lines)
+        assert got.l2_misses == 0
+        assert got.l1_misses + got.l1_hits == 8
+
+    def test_total_misses_metric(self):
+        h = self.make()
+        got = h.access(np.array([0]))
+        assert got.total_misses == got.l1_misses + got.l2_misses == 2
+
+    def test_cumulative_counts(self):
+        h = self.make()
+        h.access(np.array([0]))
+        h.access(np.array([0]))
+        assert h.counts.l1_hits >= 1
+        assert h.counts.l1_misses == 1
+
+    def test_sequential_stream_compressed(self):
+        h = self.make()
+        # 64 consecutive 4-byte elements = 4 lines.
+        got = h.access(np.arange(64) * 4)
+        assert got.l1_misses + got.l1_hits == 64
+        assert got.l1_misses == 4
+
+    def test_reset(self):
+        h = self.make()
+        h.access(np.array([0]))
+        h.reset()
+        assert h.counts.total_misses == 0
+
+
+class TestAccessCounts:
+    def test_merge(self):
+        a = AccessCounts(1, 2, 3, 4)
+        a.merge(AccessCounts(10, 20, 30, 40))
+        assert (a.l1_hits, a.l1_misses, a.l2_hits, a.l2_misses) == (11, 22, 33, 44)
+
+
+class TestLRUProperties:
+    @given(st.lists(st.integers(0, 30), min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_lru(self, lines):
+        """Dict-based simulator must equal a straightforward reference."""
+        geom = tiny_geom(sets=2, ways=2)
+        sim = CacheSim(geom)
+        got_missed = sim.access_lines(np.asarray(lines, dtype=np.int64)).tolist()
+
+        # Reference: per-set ordered list.
+        sets: dict[int, list[int]] = {}
+        expect_missed = []
+        for ln in lines:
+            s = sets.setdefault(ln % geom.num_sets, [])
+            if ln in s:
+                s.remove(ln)
+                s.append(ln)
+            else:
+                expect_missed.append(ln)
+                s.append(ln)
+                if len(s) > geom.ways:
+                    s.pop(0)
+        assert got_missed == expect_missed
+
+    @given(st.lists(st.integers(0, 10**6), min_size=0, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_conserved(self, addrs):
+        h = CacheHierarchy(tiny_geom(), tiny_geom(sets=16))
+        arr = np.asarray(addrs, dtype=np.int64)
+        got = h.access(arr)
+        assert got.l1_hits + got.l1_misses == arr.size
+        assert got.l2_hits + got.l2_misses == got.l1_misses
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_cache_never_more_misses(self, lines):
+        arr = np.asarray(lines, dtype=np.int64)
+        small = CacheSim(tiny_geom(sets=2, ways=1))
+        big = CacheSim(tiny_geom(sets=2, ways=8))
+        small.access_lines(arr)
+        big.access_lines(arr)
+        assert big.misses <= small.misses

@@ -1,0 +1,108 @@
+"""Tests for memory layout and NUMA placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simmachine.layout import PAGE_BYTES, MemoryLayout, NumaPlacement
+from repro.simmachine.topology import perlmutter
+
+
+class TestMemoryLayout:
+    def test_page_aligned_allocations(self):
+        lay = MemoryLayout()
+        a = lay.allocate("a", 100)
+        b = lay.allocate("b", 100)
+        assert a % PAGE_BYTES == 0
+        assert b % PAGE_BYTES == 0
+        assert b >= a + PAGE_BYTES
+
+    def test_zero_address_reserved(self):
+        lay = MemoryLayout()
+        assert lay.allocate("a", 10) >= PAGE_BYTES
+
+    def test_duplicate_name_rejected(self):
+        lay = MemoryLayout()
+        lay.allocate("a", 10)
+        with pytest.raises(SimulationError):
+            lay.allocate("a", 10)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryLayout().allocate("a", 10, policy="striped")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryLayout().allocate("a", -1)
+
+    def test_element_addresses(self):
+        lay = MemoryLayout()
+        base = lay.allocate("arr", 800)
+        addrs = lay.element_addresses("arr", np.array([0, 3]), itemsize=8)
+        assert addrs.tolist() == [base, base + 24]
+
+    def test_region_of(self):
+        lay = MemoryLayout()
+        lay.allocate("a", 10)
+        lay.allocate("b", 10)
+        regions = lay.region_of(np.array([lay.base("b")]))
+        assert regions[0].name == "b"
+
+    def test_region_of_unmapped(self):
+        lay = MemoryLayout()
+        lay.allocate("a", 10)
+        with pytest.raises(SimulationError):
+            lay.region_of(np.array([0]))
+
+
+class TestNumaPlacement:
+    def setup_method(self):
+        self.topo = perlmutter()
+        self.lay = MemoryLayout()
+
+    def test_bind_policy_single_home(self):
+        self.lay.allocate("a", 10 * PAGE_BYTES, policy="bind", home=2)
+        pl = NumaPlacement(self.lay, self.topo)
+        addrs = self.lay.base("a") + np.arange(5) * PAGE_BYTES
+        assert np.all(pl.home_nodes(addrs, accessor_node=0) == 2)
+
+    def test_interleave_round_robin(self):
+        self.lay.allocate("a", 16 * PAGE_BYTES, policy="interleave")
+        pl = NumaPlacement(self.lay, self.topo)
+        addrs = self.lay.base("a") + np.arange(16) * PAGE_BYTES
+        homes = pl.home_nodes(addrs, accessor_node=0)
+        assert len(set(homes.tolist())) == 8  # all 8 nodes used
+        # Consecutive pages land on consecutive nodes.
+        assert np.all(np.diff(homes) % 8 == 1)
+
+    def test_local_policy_follows_accessor(self):
+        self.lay.allocate("a", PAGE_BYTES, policy="local")
+        pl = NumaPlacement(self.lay, self.topo)
+        addrs = np.array([self.lay.base("a")])
+        assert pl.home_nodes(addrs, accessor_node=5).tolist() == [5]
+        assert pl.home_nodes(addrs, accessor_node=2).tolist() == [2]
+
+    def test_first_touch_home(self):
+        self.lay.allocate("a", PAGE_BYTES, policy="first_touch", home=6)
+        pl = NumaPlacement(self.lay, self.topo)
+        assert pl.home_nodes(
+            np.array([self.lay.base("a")]), accessor_node=0
+        ).tolist() == [6]
+
+    def test_dram_latencies_by_distance(self):
+        self.lay.allocate("a", PAGE_BYTES, policy="bind", home=0)
+        pl = NumaPlacement(self.lay, self.topo)
+        addr = np.array([self.lay.base("a")])
+        local = pl.dram_latencies_ns(addr, core=0)[0]
+        same_socket = pl.dram_latencies_ns(addr, core=16)[0]
+        cross = pl.dram_latencies_ns(addr, core=127)[0]
+        assert local == self.topo.dram_local_ns
+        assert same_socket == self.topo.remote_ns
+        assert cross == self.topo.cross_socket_ns
+
+    def test_local_policy_always_local_latency(self):
+        self.lay.allocate("a", PAGE_BYTES, policy="local")
+        pl = NumaPlacement(self.lay, self.topo)
+        addr = np.array([self.lay.base("a")])
+        for core in (0, 33, 127):
+            assert pl.dram_latencies_ns(addr, core)[0] == self.topo.dram_local_ns

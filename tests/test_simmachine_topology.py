@@ -1,0 +1,79 @@
+"""Tests for machine topology descriptions."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.simmachine.topology import (
+    CacheGeometry,
+    MachineTopology,
+    perlmutter,
+    ripples_testbed,
+)
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        g = CacheGeometry(32 * 1024, ways=8, line_bytes=64)
+        assert g.num_sets == 64
+
+    def test_rejects_nonmultiple_size(self):
+        with pytest.raises(ParameterError):
+            CacheGeometry(1000, ways=8, line_bytes=64)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            CacheGeometry(0, ways=8)
+
+
+class TestPerlmutter:
+    def test_counts(self):
+        t = perlmutter()
+        assert t.num_numa_nodes == 8
+        assert t.num_cores == 128
+        assert t.sockets == 2
+
+    def test_node_of_core(self):
+        t = perlmutter()
+        assert t.node_of_core(0) == 0
+        assert t.node_of_core(15) == 0
+        assert t.node_of_core(16) == 1
+        assert t.node_of_core(127) == 7
+
+    def test_node_of_core_out_of_range(self):
+        with pytest.raises(ParameterError):
+            perlmutter().node_of_core(128)
+
+    def test_socket_of_node(self):
+        t = perlmutter()
+        assert t.socket_of_node(3) == 0
+        assert t.socket_of_node(4) == 1
+
+    def test_latency_ordering(self):
+        t = perlmutter()
+        local = t.access_latency_ns(0, 0)
+        same_socket = t.access_latency_ns(0, 1)
+        cross = t.access_latency_ns(0, 7)
+        assert local < same_socket < cross
+
+    def test_active_nodes_packed(self):
+        t = perlmutter()
+        assert t.active_nodes(1) == 1
+        assert t.active_nodes(16) == 1
+        assert t.active_nodes(17) == 2
+        assert t.active_nodes(128) == 8
+
+    def test_cores_for_threads(self):
+        t = perlmutter()
+        assert t.cores_for_threads(3) == [0, 1, 2]
+        with pytest.raises(ParameterError):
+            t.cores_for_threads(129)
+
+
+class TestRipplesTestbed:
+    def test_uniform_memory(self):
+        t = ripples_testbed()
+        assert t.num_numa_nodes == 1
+        assert t.access_latency_ns(0, 0) == t.dram_local_ns
+
+    def test_ten_cores(self):
+        assert ripples_testbed().num_cores == 10

@@ -1,0 +1,195 @@
+"""Tests for the RRR stores (flat, adaptive/budgeted, partitioned)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryModelError, ParameterError
+from repro.sketch.rrr import AdaptivePolicy
+from repro.sketch.store import AdaptiveRRRStore, FlatRRRStore, PartitionedRRRStore
+
+
+class TestFlatRRRStore:
+    def test_append_and_get(self):
+        s = FlatRRRStore(10)
+        s.append(np.array([3, 1, 2]))
+        s.append(np.array([7]))
+        assert len(s) == 2
+        assert s.get(0).tolist() == [3, 1, 2]
+        assert s.get(1).tolist() == [7]
+
+    def test_sorted_mode(self):
+        s = FlatRRRStore(10, sort_sets=True)
+        s.append(np.array([3, 1, 2]))
+        assert s.get(0).tolist() == [1, 2, 3]
+
+    def test_growth_preserves_data(self):
+        s = FlatRRRStore(1000)
+        rng = np.random.default_rng(0)
+        sets = [rng.integers(0, 1000, size=rng.integers(1, 50)) for _ in range(200)]
+        for x in sets:
+            s.append(x)
+        for i, x in enumerate(sets):
+            assert np.array_equal(s.get(i), x.astype(np.int32))
+
+    def test_sizes(self):
+        s = FlatRRRStore(10)
+        s.extend([np.array([1]), np.array([2, 3]), np.array([], dtype=np.int32)])
+        assert s.sizes().tolist() == [1, 2, 0]
+
+    def test_vertex_counts(self):
+        s = FlatRRRStore(5)
+        s.extend([np.array([0, 1]), np.array([1, 2]), np.array([1])])
+        assert s.vertex_counts().tolist() == [1, 3, 1, 0, 0]
+
+    def test_sets_containing(self):
+        s = FlatRRRStore(5)
+        s.extend([np.array([0, 1]), np.array([2]), np.array([1, 2])])
+        assert s.sets_containing(1).tolist() == [0, 2]
+        assert s.sets_containing(4).tolist() == []
+
+    def test_index_error(self):
+        s = FlatRRRStore(5)
+        with pytest.raises(IndexError):
+            s.get(0)
+
+    def test_iteration(self):
+        s = FlatRRRStore(5)
+        s.extend([np.array([0]), np.array([1])])
+        assert [x.tolist() for x in s] == [[0], [1]]
+
+    def test_nbytes_logical(self):
+        s = FlatRRRStore(5)
+        s.append(np.array([0, 1, 2]))
+        assert s.nbytes() == 3 * 4 + 2 * 8
+
+    def test_empty_set_append(self):
+        s = FlatRRRStore(5)
+        s.append(np.array([], dtype=np.int32))
+        assert len(s) == 1 and s.get(0).size == 0
+
+
+class TestAdaptiveRRRStore:
+    def test_ripples_mode_all_lists(self):
+        s = AdaptiveRRRStore(100, policy=None)
+        s.append(np.arange(90))  # dense, but policy=None forces a list
+        assert s.representation_histogram() == {"list": 1}
+
+    def test_adaptive_mode_switches(self):
+        s = AdaptiveRRRStore(320, policy=AdaptivePolicy())
+        s.append(np.arange(5))
+        s.append(np.arange(200))
+        assert s.representation_histogram() == {"list": 1, "bitmap": 1}
+
+    def test_budget_enforced(self):
+        s = AdaptiveRRRStore(1000, policy=None, budget_bytes=100)
+        s.append(np.arange(20))  # 80 bytes
+        with pytest.raises(OutOfMemoryModelError) as exc:
+            s.append(np.arange(20))
+        assert exc.value.budget_bytes == 100
+        assert exc.value.required_bytes > 100
+
+    def test_adaptive_fits_where_lists_oom(self):
+        # The Table III Twitter7 mechanism at miniature scale: dense sets as
+        # bitmaps fit a budget that sorted vectors exceed.
+        n, dense = 4096, np.arange(3000)
+        budget = 8 * (n // 8 + 1)  # room for ~8 bitmaps
+        ripples = AdaptiveRRRStore(n, policy=None, budget_bytes=budget)
+        eimm = AdaptiveRRRStore(n, policy=AdaptivePolicy(), budget_bytes=budget)
+        with pytest.raises(OutOfMemoryModelError):
+            for _ in range(8):
+                ripples.append(dense)
+        for _ in range(8):
+            eimm.append(dense)
+        assert len(eimm) == 8
+
+    def test_to_flat_roundtrip(self):
+        s = AdaptiveRRRStore(320)
+        s.append(np.array([5, 2, 9]))
+        s.append(np.arange(150))
+        flat = s.to_flat()
+        assert len(flat) == 2
+        assert sorted(flat.get(0).tolist()) == [2, 5, 9]
+        assert flat.get(1).size == 150
+
+    def test_nbytes_accumulates(self):
+        s = AdaptiveRRRStore(1000, policy=None)
+        s.append(np.arange(10))
+        s.append(np.arange(20))
+        assert s.nbytes() == 40 + 80
+
+    def test_getitem_and_iter(self):
+        s = AdaptiveRRRStore(100)
+        s.append(np.array([1]))
+        assert s[0].size == 1
+        assert len(list(s)) == 1
+
+
+class TestPartitionedRRRStore:
+    def test_append_routes_to_worker(self):
+        s = PartitionedRRRStore(10, 3)
+        s.append(0, np.array([1]))
+        s.append(2, np.array([2, 3]))
+        assert len(s.parts[0]) == 1
+        assert len(s.parts[1]) == 0
+        assert len(s.parts[2]) == 1
+        assert len(s) == 2
+
+    def test_total_entries(self):
+        s = PartitionedRRRStore(10, 2)
+        s.append(0, np.array([1, 2]))
+        s.append(1, np.array([3]))
+        assert s.total_entries == 3
+
+    def test_merge_gathers_everything(self):
+        s = PartitionedRRRStore(10, 2)
+        s.append(0, np.array([1, 2]))
+        s.append(1, np.array([3]))
+        merged = s.merge()
+        assert len(merged) == 2
+        assert merged.total_entries == 3
+
+    def test_vertex_counts_match_merged(self):
+        s = PartitionedRRRStore(6, 3)
+        rng = np.random.default_rng(1)
+        for i in range(12):
+            s.append(i % 3, rng.integers(0, 6, size=4))
+        assert np.array_equal(s.vertex_counts(), s.merge().vertex_counts())
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ParameterError):
+            PartitionedRRRStore(10, 0)
+
+
+class TestStoreProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 49), min_size=0, max_size=30),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_flat_store_preserves_multiset(self, sets):
+        s = FlatRRRStore(50)
+        for x in sets:
+            s.append(np.asarray(x, dtype=np.int32))
+        manual = np.zeros(50, dtype=np.int64)
+        for x in sets:
+            for v in x:
+                manual[v] += 1
+        assert np.array_equal(s.vertex_counts(), manual)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 49), min_size=0, max_size=30),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_offsets_consistent(self, sets):
+        s = FlatRRRStore(50)
+        for x in sets:
+            s.append(np.asarray(x, dtype=np.int32))
+        assert s.offsets[-1] == s.total_entries
+        assert np.array_equal(np.diff(s.offsets), [len(x) for x in sets])

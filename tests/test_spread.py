@@ -1,0 +1,58 @@
+"""Tests for Monte-Carlo spread estimation."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import ICModel
+from repro.diffusion.spread import estimate_spread
+
+from conftest import make_graph
+
+
+class TestEstimateSpread:
+    def test_deterministic_graph_exact(self, line_graph):
+        model = ICModel(line_graph)
+        est = estimate_spread(model, np.array([0]), num_samples=20, seed=0)
+        assert est.mean == 5.0
+        assert est.stderr == 0.0
+
+    def test_isolated_seed(self, isolated_graph):
+        model = ICModel(isolated_graph)
+        est = estimate_spread(model, np.array([3]), num_samples=10, seed=0)
+        assert est.mean == 1.0
+
+    def test_expected_value_single_edge(self):
+        g = make_graph([(0, 1, 0.5)], n=2)
+        model = ICModel(g)
+        est = estimate_spread(model, np.array([0]), num_samples=4000, seed=1)
+        assert est.mean == pytest.approx(1.5, abs=0.05)
+
+    def test_confidence_interval_contains_mean(self):
+        g = make_graph([(0, 1, 0.5)], n=2)
+        model = ICModel(g)
+        est = estimate_spread(model, np.array([0]), num_samples=500, seed=2)
+        lo, hi = est.confidence_interval()
+        assert lo <= est.mean <= hi
+        assert lo <= 1.5 <= hi  # true value inside the 95% CI
+
+    def test_monotone_in_seeds(self, two_triangles):
+        model = ICModel(two_triangles)
+        one = estimate_spread(model, np.array([0]), num_samples=50, seed=3)
+        two = estimate_spread(model, np.array([0, 3]), num_samples=50, seed=3)
+        assert two.mean > one.mean
+
+    def test_determinism_by_seed(self, diamond_graph):
+        model = ICModel(diamond_graph)
+        a = estimate_spread(model, np.array([0]), num_samples=100, seed=9)
+        b = estimate_spread(model, np.array([0]), num_samples=100, seed=9)
+        assert a.mean == b.mean
+
+    def test_rejects_zero_samples(self, line_graph):
+        model = ICModel(line_graph)
+        with pytest.raises(ValueError):
+            estimate_spread(model, np.array([0]), num_samples=0)
+
+    def test_num_samples_recorded(self, line_graph):
+        model = ICModel(line_graph)
+        est = estimate_spread(model, np.array([0]), num_samples=17, seed=0)
+        assert est.num_samples == 17

@@ -1,0 +1,128 @@
+"""Tests for the artifact-style sweep runner and CSV extraction."""
+
+import json
+
+import pytest
+
+from repro.bench.sweep import (
+    DEFAULT_THREAD_SWEEP,
+    RunLog,
+    extract_results,
+    log_dir_name,
+    run_sweep,
+)
+from repro.errors import ParameterError
+
+
+class TestLogDirName:
+    def test_matches_artifact_layout(self):
+        assert log_dir_name("IC", "EfficientIMM") == "strong-scaling-logs-ic-eimm"
+        assert log_dir_name("LT", "Ripples") == "strong-scaling-logs-lt-ripples"
+
+    def test_unknown_framework(self):
+        with pytest.raises(ParameterError):
+            log_dir_name("IC", "curipples")
+
+
+class TestRunLog:
+    def test_roundtrip(self, tmp_path):
+        log = RunLog(
+            dataset="skitter", model="IC", framework="Ripples",
+            num_threads=8, k=10, epsilon=0.5, theta=100,
+            total_time_s=1.25, generate_rrrsets_s=1.0,
+            find_most_influential_s=0.2, other_s=0.05,
+            seeds=[1, 2, 3], machine="perlmutter-epyc7763", timestamp=0.0,
+        )
+        p = tmp_path / "log.json"
+        log.write(p)
+        assert RunLog.read(p) == log
+
+    def test_json_is_plain(self, tmp_path):
+        log = RunLog(
+            dataset="a", model="IC", framework="Ripples", num_threads=1,
+            k=1, epsilon=0.5, theta=1, total_time_s=0.0,
+            generate_rrrsets_s=0.0, find_most_influential_s=0.0,
+            other_s=0.0, seeds=[0], machine="m", timestamp=0.0,
+        )
+        p = tmp_path / "log.json"
+        log.write(p)
+        payload = json.loads(p.read_text())
+        assert payload["dataset"] == "a"
+        assert isinstance(payload["seeds"], list)
+
+
+@pytest.fixture(scope="module")
+def sweep_output(tmp_path_factory):
+    out = tmp_path_factory.mktemp("sweep")
+    written = run_sweep(
+        out,
+        datasets=["skitter"],
+        models=("IC",),
+        thread_sweep=(4, 8, 16),
+        k=10,
+        seed=1,
+    )
+    return out, written
+
+
+class TestRunSweep:
+    def test_writes_expected_files(self, sweep_output):
+        out, written = sweep_output
+        # 1 dataset x 1 model x 2 frameworks x 3 thread counts.
+        assert len(written) == 6
+        assert (out / "strong-scaling-logs-ic-eimm" / "skitter-t8.json").exists()
+        assert (out / "strong-scaling-logs-ic-ripples" / "skitter-t16.json").exists()
+
+    def test_log_contents(self, sweep_output):
+        out, _ = sweep_output
+        log = RunLog.read(
+            out / "strong-scaling-logs-ic-eimm" / "skitter-t4.json"
+        )
+        assert log.framework == "EfficientIMM"
+        assert log.num_threads == 4
+        assert log.total_time_s > 0
+        assert log.total_time_s == pytest.approx(
+            log.generate_rrrsets_s + log.find_most_influential_s + log.other_s
+        )
+        assert len(log.seeds) == 10
+
+    def test_seeds_same_across_frameworks(self, sweep_output):
+        out, _ = sweep_output
+        a = RunLog.read(out / "strong-scaling-logs-ic-eimm" / "skitter-t4.json")
+        b = RunLog.read(
+            out / "strong-scaling-logs-ic-ripples" / "skitter-t4.json"
+        )
+        assert a.seeds == b.seeds
+
+    def test_default_sweep_is_artifact_schedule(self):
+        assert DEFAULT_THREAD_SWEEP == (4, 8, 16, 32, 64, 128)
+
+
+class TestExtractResults:
+    def test_produces_csv(self, sweep_output):
+        out, _ = sweep_output
+        paths = extract_results(out, models=("IC",))
+        csv_path = paths["IC"]
+        assert csv_path.name == "speedup_ic.csv"
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == (
+            "Dataset,Speedup,EfficientIMM Time (s),Ripples Time (s),"
+            "Ripples Best #Threads,EfficientIMM Best #Threads"
+        )
+        assert lines[1].startswith("skitter,")
+
+    def test_speedup_consistent_with_times(self, sweep_output):
+        import csv as csvmod
+
+        out, _ = sweep_output
+        csv_path = extract_results(out, models=("IC",))["IC"]
+        with open(csv_path) as fh:
+            row = next(csvmod.DictReader(fh))
+        speedup = float(row["Speedup"])
+        ratio = float(row["Ripples Time (s)"]) / float(
+            row["EfficientIMM Time (s)"]
+        )
+        assert speedup == pytest.approx(ratio, abs=0.01)
+
+    def test_missing_logs_returns_empty(self, tmp_path):
+        assert extract_results(tmp_path) == {}

@@ -1,0 +1,185 @@
+"""Tests for the TIM baseline and the classic heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core import EfficientIMM, IMMParams
+from repro.core.heuristics import (
+    degree_discount,
+    random_seeds,
+    single_discount,
+    top_degree,
+)
+from repro.core.tim import estimate_kpt, run_tim
+from repro.errors import ParameterError
+
+from conftest import make_graph
+
+
+class TestTopDegree:
+    def test_picks_hub(self, star_graph):
+        assert top_degree(star_graph, 1).tolist() == [0]
+
+    def test_tie_break_lowest_id(self, cycle_graph):
+        assert top_degree(cycle_graph, 3).tolist() == [0, 1, 2]
+
+    def test_rejects_k_above_n(self, star_graph):
+        with pytest.raises(ParameterError):
+            top_degree(star_graph, 100)
+
+
+class TestRandomSeeds:
+    def test_no_replacement(self, star_graph):
+        s = random_seeds(star_graph, 9, seed=0)
+        assert len(set(s.tolist())) == 9
+
+    def test_deterministic(self, star_graph):
+        a = random_seeds(star_graph, 4, seed=1)
+        b = random_seeds(star_graph, 4, seed=1)
+        assert np.array_equal(a, b)
+
+
+def _hub_pair_graph():
+    """Hub 0 adjacent to hub 9 (and leaves); hub 5 disjoint.
+
+    Degrees: 0 -> 5, 9 -> 4, 5 -> 3.  Pure degree picks [0, 9]; discounting
+    heuristics penalise 9 for its adjacency to the selected 0 and pick the
+    disjoint hub 5 instead.
+    """
+    und = (
+        [(0, i) for i in (1, 2, 3, 4, 9)]
+        + [(9, i) for i in (10, 11, 12)]
+        + [(5, i) for i in (6, 7, 8)]
+    )
+    edges = [(u, v, 1.0) for u, v in und] + [(v, u, 1.0) for u, v in und]
+    return make_graph(edges, n=13)
+
+
+class TestSingleDiscount:
+    def test_discounts_adjacent_hub(self):
+        g = _hub_pair_graph()
+        assert top_degree(g, 2).tolist() == [0, 9]  # the naive pick
+        assert single_discount(g, 2).tolist() == [0, 5]
+
+    def test_without_overlap_matches_degree(self, two_triangles):
+        assert set(single_discount(two_triangles, 2).tolist()) == set(
+            top_degree(two_triangles, 2).tolist()
+        )
+
+    def test_seed_count(self, amazon_ic):
+        assert single_discount(amazon_ic, 7).size == 7
+
+
+class TestDegreeDiscount:
+    def test_matches_kdd09_formula_direction(self):
+        g = _hub_pair_graph()
+        assert degree_discount(g, 2, propagation_p=0.3).tolist() == [0, 5]
+
+    def test_uses_graph_mean_probability(self, amazon_ic):
+        s = degree_discount(amazon_ic, 5)
+        assert s.size == 5
+        assert len(set(s.tolist())) == 5
+
+    def test_explicit_p(self, star_graph):
+        assert degree_discount(star_graph, 1, propagation_p=0.1).tolist() == [0]
+
+    def test_rejects_bad_p(self, star_graph):
+        with pytest.raises(ParameterError):
+            degree_discount(star_graph, 1, propagation_p=1.5)
+
+    def test_quality_beats_random(self, amazon_ic):
+        from repro.diffusion import estimate_spread, get_model
+
+        model = get_model("IC", amazon_ic)
+        dd = estimate_spread(
+            model, degree_discount(amazon_ic, 8), num_samples=50, seed=1
+        ).mean
+        rnd = estimate_spread(
+            model, random_seeds(amazon_ic, 8, seed=2), num_samples=50, seed=1
+        ).mean
+        assert dd >= rnd * 0.9  # dd should not lose meaningfully
+
+
+class TestKPT:
+    def test_kpt_bounds(self, amazon_ic):
+        from repro.core.sampling import RRRSampler, SamplingConfig
+        from repro.diffusion.base import get_model
+
+        sampler = RRRSampler(
+            get_model("IC", amazon_ic), SamplingConfig.efficientimm(), seed=0
+        )
+        kpt = estimate_kpt(amazon_ic, sampler, 10, 1.0, theta_cap=500)
+        # KPT estimates the mean single-vertex spread: within (1, n].
+        assert 1.0 <= kpt <= amazon_ic.num_vertices
+
+    def test_kpt_reflects_connectivity(self):
+        from repro.core.sampling import RRRSampler, SamplingConfig
+        from repro.diffusion.base import get_model
+        from repro.graph.builder import from_edge_array
+        from repro.graph.generators import erdos_renyi
+
+        def kpt_for(num_edges, seed):
+            src, dst = erdos_renyi(300, num_edges, seed=seed)
+            g = from_edge_array(src, dst, 1.0, num_vertices=300)
+            s = RRRSampler(
+                get_model("IC", g), SamplingConfig.efficientimm(), seed=seed
+            )
+            return estimate_kpt(g, s, 5, 1.0, theta_cap=400)
+
+        assert kpt_for(1500, 3) > kpt_for(100, 3)
+
+    def test_empty_graph(self, isolated_graph):
+        from repro.core.sampling import RRRSampler, SamplingConfig
+        from repro.diffusion.base import get_model
+
+        sampler = RRRSampler(
+            get_model("IC", isolated_graph),
+            SamplingConfig.efficientimm(),
+            seed=0,
+        )
+        assert estimate_kpt(isolated_graph, sampler, 2, 1.0) == 1.0
+
+
+class TestRunTim:
+    def test_seed_count(self, amazon_ic):
+        res = run_tim(amazon_ic, IMMParams(k=6, theta_cap=900, seed=1))
+        assert res.seeds.size == 6
+        assert len(set(res.seeds.tolist())) == 6
+
+    def test_determinism(self, amazon_ic):
+        params = IMMParams(k=4, theta_cap=600, seed=2)
+        a, b = run_tim(amazon_ic, params), run_tim(amazon_ic, params)
+        assert np.array_equal(a.seeds, b.seeds)
+        assert a.kpt == b.kpt
+
+    def test_theta_looser_than_imm(self, amazon_ic):
+        """The historical point: TIM needs more samples than IMM for the
+        same (epsilon, ell) guarantee."""
+        params = IMMParams(k=6, epsilon=0.5, theta_cap=10**7, seed=3)
+        tim = run_tim(amazon_ic, IMMParams(k=6, epsilon=0.5, theta_cap=900, seed=3))
+        imm = EfficientIMM(amazon_ic).run(
+            IMMParams(k=6, epsilon=0.5, theta_cap=3000, seed=3)
+        )
+        del params
+        assert tim.theta > imm.theta  # uncapped requirement comparison
+
+    def test_quality_comparable_to_imm(self, amazon_ic):
+        from repro.diffusion import estimate_spread, get_model
+
+        tim = run_tim(amazon_ic, IMMParams(k=6, theta_cap=900, seed=4))
+        imm = EfficientIMM(amazon_ic).run(
+            IMMParams(k=6, theta_cap=900, seed=4)
+        )
+        model = get_model("IC", amazon_ic)
+        s_tim = estimate_spread(model, tim.seeds, num_samples=60, seed=5).mean
+        s_imm = estimate_spread(model, imm.seeds, num_samples=60, seed=5).mean
+        assert s_tim >= 0.85 * s_imm
+
+    def test_times_recorded(self, amazon_ic):
+        res = run_tim(amazon_ic, IMMParams(k=3, theta_cap=400, seed=6))
+        assert "KPT_Estimation" in res.times.stages
+        assert res.theta_capped  # the real theta far exceeds this cap
+
+    def test_rejects_k_above_n(self, isolated_graph):
+        with pytest.raises(ParameterError):
+            run_tim(isolated_graph, IMMParams(k=99, theta_cap=10))

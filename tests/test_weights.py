@@ -1,0 +1,110 @@
+"""Tests for the IC / LT edge-weight schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph.builder import from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.weights import (
+    assign_ic_weights,
+    assign_lt_weights,
+    lt_incoming_weight_sums,
+)
+
+
+@pytest.fixture
+def medium_graph():
+    src, dst = erdos_renyi(200, 1500, seed=4)
+    return from_edge_array(src, dst, num_vertices=200)
+
+
+class TestICWeights:
+    def test_uniform_in_unit_interval(self, medium_graph):
+        g = assign_ic_weights(medium_graph, scheme="uniform", seed=1)
+        assert np.all((g.probs >= 0) & (g.probs <= 1))
+        # Uniform [0,1] draws should average near 0.5.
+        assert 0.4 < g.probs.mean() < 0.6
+
+    def test_uniform_scale(self, medium_graph):
+        g = assign_ic_weights(medium_graph, scheme="uniform", seed=1, scale=0.1)
+        assert g.probs.max() <= 0.1
+
+    def test_constant(self, medium_graph):
+        g = assign_ic_weights(medium_graph, scheme="constant", scale=0.05)
+        assert np.all(g.probs == 0.05)
+
+    def test_trivalency_values(self, medium_graph):
+        g = assign_ic_weights(medium_graph, scheme="trivalency", seed=2)
+        assert set(np.unique(g.probs)) <= {0.1, 0.01, 0.001}
+
+    def test_weighted_cascade(self, medium_graph):
+        g = assign_ic_weights(medium_graph, scheme="weighted_cascade")
+        indeg = np.bincount(g.indices, minlength=g.num_vertices)
+        # Each in-edge of v carries 1/indeg(v): incoming sums are exactly 1.
+        sums = lt_incoming_weight_sums(g)
+        has_in = indeg > 0
+        assert np.allclose(sums[has_in], 1.0)
+
+    def test_topology_untouched(self, medium_graph):
+        g = assign_ic_weights(medium_graph, seed=3)
+        assert np.array_equal(g.indices, medium_graph.indices)
+        assert g.num_vertices == medium_graph.num_vertices
+
+    def test_determinism(self, medium_graph):
+        a = assign_ic_weights(medium_graph, seed=9)
+        b = assign_ic_weights(medium_graph, seed=9)
+        assert np.array_equal(a.probs, b.probs)
+
+    def test_unknown_scheme_rejected(self, medium_graph):
+        with pytest.raises(ParameterError):
+            assign_ic_weights(medium_graph, scheme="nope")
+
+    def test_bad_scale_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            assign_ic_weights(medium_graph, scale=1.5)
+
+
+class TestLTWeights:
+    def test_incoming_sums_at_most_one(self, medium_graph):
+        g = assign_lt_weights(medium_graph, seed=1)
+        sums = lt_incoming_weight_sums(g)
+        assert np.all(sums <= 1.0 + 1e-9)
+
+    def test_weights_nonnegative(self, medium_graph):
+        g = assign_lt_weights(medium_graph, seed=1)
+        assert np.all(g.probs >= 0.0)
+
+    def test_slack_is_no_activation_probability(self, medium_graph):
+        # The construction leaves strictly positive "activate nobody" mass
+        # for almost all vertices (U[0,1] scaling).
+        g = assign_lt_weights(medium_graph, seed=2)
+        sums = lt_incoming_weight_sums(g)
+        indeg = np.bincount(g.indices, minlength=g.num_vertices)
+        assert (sums[indeg > 0] < 1.0).mean() > 0.95
+
+    def test_total_incoming_cap(self, medium_graph):
+        g = assign_lt_weights(medium_graph, seed=3, total_incoming=0.5)
+        assert np.all(lt_incoming_weight_sums(g) <= 0.5 + 1e-9)
+
+    def test_determinism(self, medium_graph):
+        a = assign_lt_weights(medium_graph, seed=4)
+        b = assign_lt_weights(medium_graph, seed=4)
+        assert np.array_equal(a.probs, b.probs)
+
+    def test_isolated_vertices_ok(self):
+        g = from_edge_array(
+            np.array([0]), np.array([1]), num_vertices=10
+        )
+        weighted = assign_lt_weights(g, seed=5)
+        assert weighted.num_edges == 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lt_constraint_random_seeds(self, seed):
+        src, dst = erdos_renyi(60, 300, seed=seed)
+        g = from_edge_array(src, dst, num_vertices=60)
+        weighted = assign_lt_weights(g, seed=seed)
+        assert np.all(lt_incoming_weight_sums(weighted) <= 1.0 + 1e-9)
