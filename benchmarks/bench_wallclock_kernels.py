@@ -36,7 +36,7 @@ def test_wallclock_ripples_selection(benchmark, amazon_store):
     assert res.seeds.size == K
 
 
-def test_wallclock_ordering(benchmark, amazon_store):
+def test_wallclock_ordering(benchmark, amazon_store, bench_record):
     import time
 
     def timed(fn):
@@ -65,4 +65,9 @@ def test_wallclock_ordering(benchmark, amazon_store):
     )
     print(f"\nwall-clock @p={THREADS}: EfficientIMM {t_eimm:.4f}s, "
           f"Ripples {t_rip:.4f}s ({t_rip / t_eimm:.1f}x)")
+    bench_record(
+        "wallclock_selection",
+        threads=THREADS, k=K,
+        efficientimm_s=t_eimm, ripples_s=t_rip, speedup=t_rip / t_eimm,
+    )
     assert t_eimm < t_rip

@@ -25,9 +25,17 @@ Subpackages:
   placement, cost model) behind the scaling and hardware-counter
   experiments;
 - :mod:`repro.bench` — the harness that regenerates every paper table and
-  figure.
+  figure;
+- :mod:`repro.telemetry` — unified tracing, metrics, and profiling wired
+  through all of the above (docs/observability.md)::
+
+      from repro import telemetry
+      with telemetry.session() as tel:
+          EfficientIMM(graph).run(IMMParams(k=10, theta_cap=2000))
+      telemetry.write_report("out/", tel)
 """
 
+from repro import telemetry
 from repro.core import EfficientIMM, IMMParams, IMMResult, RipplesIMM, celf_greedy
 from repro.diffusion import estimate_spread, get_model
 from repro.errors import ReproError
@@ -47,5 +55,6 @@ __all__ = [
     "IMMResult",
     "celf_greedy",
     "ReproError",
+    "telemetry",
     "__version__",
 ]

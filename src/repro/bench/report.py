@@ -1,8 +1,14 @@
-"""Plain-text table rendering and CSV output for experiment results.
+"""Plain-text table rendering, CSV output, and the unified bench JSON.
 
 The harness prints every reproduced table/figure as an aligned ASCII table
 (the terminal equivalent of the paper's layout) and can dump the same rows
 as CSV for downstream plotting.
+
+For machine-diffable perf tracking across PRs, every benchmark emits one
+``BENCH_*.json``-compatible record through :func:`write_bench_record`
+(schema ``repro-bench/1``, defined in :mod:`repro.telemetry.export`): the
+benchmark's scalar fields and/or table rows plus the active telemetry
+registry's snapshot — one schema instead of per-script ad-hoc dicts.
 """
 
 from __future__ import annotations
@@ -11,8 +17,18 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
-__all__ = ["Table", "format_speedup", "format_ratio"]
+from repro.telemetry.export import BENCH_SCHEMA, bench_payload, write_bench_json
+
+__all__ = [
+    "Table",
+    "format_speedup",
+    "format_ratio",
+    "write_bench_record",
+    "bench_payload",
+    "BENCH_SCHEMA",
+]
 
 
 @dataclass
@@ -75,6 +91,35 @@ class Table:
             writer = csv.writer(fh)
             writer.writerow(self.columns)
             writer.writerows(self.rows)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Rows as column->value dicts (the bench-JSON representation)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def write_bench_record(
+    path: str | Path,
+    name: str,
+    *,
+    table: "Table | None" = None,
+    fields: dict[str, Any] | None = None,
+    registry=None,
+) -> Path:
+    """Write one unified ``repro-bench/1`` record for a benchmark.
+
+    ``registry=None`` snapshots the active telemetry session's registry, so
+    a benchmark that ran inside ``telemetry.session()`` ships its counters
+    automatically; a table's rows are embedded under ``fields["rows"]``.
+    """
+    from repro import telemetry
+
+    if registry is None:
+        registry = telemetry.get().registry
+    merged = dict(fields or {})
+    if table is not None:
+        merged.setdefault("title", table.title)
+        merged["rows"] = table.to_records()
+    return write_bench_json(path, name, registry, fields=merged)
 
 
 def format_speedup(value: float) -> str:

@@ -6,9 +6,14 @@ Usage::
     repro experiment table3         # regenerate Table III
     repro experiment all            # everything (minutes)
     repro run youtube --model IC --k 20 --framework efficientimm
+    repro run youtube --telemetry out/     # + metrics.json & trace.json
+    repro trace amazon --k 10              # telemetry-first run
     repro datasets                  # replica inventory vs paper stats
 
-(Equivalently: ``python -m repro ...``.)
+(Equivalently: ``python -m repro ...``.)  ``--telemetry DIR`` / ``trace``
+enable the :mod:`repro.telemetry` session around the run and write the
+unified ``metrics.json`` plus a Chrome trace-event ``trace.json`` (open in
+``chrome://tracing`` or Perfetto); see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -98,6 +103,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimate-spread", action="store_true",
         help="Monte-Carlo validate the seed set's spread",
     )
+    run.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="enable telemetry; write DIR/metrics.json and DIR/trace.json",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run IMM with full telemetry and write metrics + Chrome trace",
+    )
+    trace.add_argument("dataset", help="dataset name, e.g. 'amazon'")
+    trace.add_argument("--model", default="IC", choices=("IC", "LT"))
+    trace.add_argument("--k", type=int, default=10)
+    trace.add_argument("--epsilon", type=float, default=0.5)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--theta-cap", type=int, default=2000)
+    trace.add_argument(
+        "--framework", default="efficientimm",
+        choices=("efficientimm", "ripples"),
+    )
+    trace.add_argument(
+        "--out", metavar="DIR", default="telemetry-out",
+        help="output directory (default: telemetry-out/)",
+    )
+    trace.add_argument(
+        "--memory", action="store_true",
+        help="also attribute tracemalloc memory to spans (slower)",
+    )
     return parser
 
 
@@ -159,8 +191,16 @@ def _cmd_experiment(exp_id: str, csv_dir: str | None = None) -> int:
     return 0
 
 
+def _run_params_meta(args: argparse.Namespace) -> dict:
+    return {
+        "dataset": args.dataset, "model": args.model, "k": args.k,
+        "epsilon": args.epsilon, "seed": args.seed,
+        "theta_cap": args.theta_cap, "framework": args.framework,
+    }
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro import EfficientIMM, IMMParams, RipplesIMM, load_dataset
+    from repro import EfficientIMM, IMMParams, RipplesIMM, load_dataset, telemetry
 
     graph = load_dataset(args.dataset, model=args.model, seed=args.seed)
     params = IMMParams(
@@ -171,7 +211,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         EfficientIMM(graph) if args.framework == "efficientimm"
         else RipplesIMM(graph)
     )
-    result = algo.run(params)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is not None:
+        with telemetry.session() as tel:
+            result = algo.run(params)
+        paths = telemetry.write_report(telemetry_dir, tel, run=_run_params_meta(args))
+        print(f"telemetry: {paths['metrics']} {paths['trace']}")
+    else:
+        result = algo.run(params)
     print(result.summary())
     print("seeds:", " ".join(map(str, result.seeds.tolist())))
     for stage, secs in result.times.stages.items():
@@ -186,6 +233,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"MC spread: {est.mean:.1f} +- {est.stderr:.1f} "
             f"(95% CI [{lo:.1f}, {hi:.1f}])"
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import EfficientIMM, IMMParams, RipplesIMM, load_dataset, telemetry
+
+    graph = load_dataset(args.dataset, model=args.model, seed=args.seed)
+    params = IMMParams(
+        k=args.k, epsilon=args.epsilon, model=args.model,
+        seed=args.seed, theta_cap=args.theta_cap,
+    )
+    algo = (
+        EfficientIMM(graph) if args.framework == "efficientimm"
+        else RipplesIMM(graph)
+    )
+    with telemetry.session(memory=args.memory) as tel:
+        result = algo.run(params)
+    print(result.summary())
+    paths = telemetry.write_report(args.out, tel, run=_run_params_meta(args))
+    snap = tel.snapshot()
+    spans = sum(1 for r in tel.tracer.roots for _ in r.iter_tree())
+    print(
+        f"{spans} spans, {len(snap['counters'])} counters, "
+        f"{len(snap['gauges'])} gauges, {len(snap['histograms'])} histograms"
+    )
+    for name in sorted(snap["counters"]):
+        print(f"  {name} = {snap['counters'][name]:g}")
+    print(f"metrics: {paths['metrics']}")
+    print(f"trace:   {paths['trace']}  (open in chrome://tracing)")
     return 0
 
 
@@ -285,6 +361,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args.id, args.csv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "extract-results":

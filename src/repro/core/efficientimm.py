@@ -90,4 +90,5 @@ class EfficientIMM:
             self.sampling_config(params),
             select,
             gather_before_select=False,
+            framework=self.name,
         )

@@ -25,6 +25,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import StageTimes
 from repro.core.martingale import MartingaleSchedule
 from repro.core.params import IMMParams, IMMResult
@@ -55,13 +56,36 @@ def run_imm(
     select_fn: SelectFn,
     *,
     gather_before_select: bool = False,
+    framework: str = "IMM",
 ) -> IMMResult:
     """Execute Algorithm 1 and return a fully populated :class:`IMMResult`.
 
     ``gather_before_select=True`` charges Ripples' redistribution step (every
     stored entry copied once) ahead of each selection; EfficientIMM's fused,
-    partition-local pipeline skips it.
+    partition-local pipeline skips it.  ``framework`` labels the telemetry
+    spans/metrics this run emits (docs/observability.md).
     """
+    tel = telemetry.get()
+    with tel.span(
+        "imm.run", framework=framework, model=params.model,
+        k=params.k, epsilon=params.epsilon, num_threads=params.num_threads,
+    ):
+        result = _run_imm_inner(
+            graph, params, sampling_config, select_fn, gather_before_select, tel
+        )
+    if tel.enabled:
+        _record_imm_telemetry(tel, result, framework)
+    return result
+
+
+def _run_imm_inner(
+    graph: CSRGraph,
+    params: IMMParams,
+    sampling_config: SamplingConfig,
+    select_fn: SelectFn,
+    gather_before_select: bool,
+    tel,
+) -> IMMResult:
     n = graph.num_vertices
     times = StageTimes()
     model = get_model(params.model, graph)
@@ -90,10 +114,16 @@ def run_imm(
     sel_stats = None
     for level in range(1, sched.max_level + 1):
         theta_i = capped(sched.theta_for_level(level))
-        with times.measure("Generate_RRRsets"):
+        if tel.enabled:
+            tel.registry.counter("imm.martingale_rounds").inc()
+        with times.measure("Generate_RRRsets"), tel.span(
+            "imm.sampling", phase="estimation", level=level, theta=theta_i
+        ):
             sampler.extend(theta_i)
         charge_gather()
-        with times.measure("Find_Most_Influential_Set"):
+        with times.measure("Find_Most_Influential_Set"), tel.span(
+            "imm.selection", phase="estimation", level=level
+        ):
             selection = select_fn(
                 sampler.store, params.k, params.num_threads, counter_arg()
             )
@@ -116,12 +146,16 @@ def run_imm(
         and sched.theta_final(lb) > params.theta_cap
     )
     if len(sampler.store) < theta:
-        with times.measure("Generate_RRRsets"):
+        with times.measure("Generate_RRRsets"), tel.span(
+            "imm.sampling", phase="top_up", theta=theta
+        ):
             sampler.extend(theta)
 
     # ----------------------------------------------- 3. selection phase
     charge_gather()
-    with times.measure("Find_Most_Influential_Set"):
+    with times.measure("Find_Most_Influential_Set"), tel.span(
+        "imm.selection", phase="final"
+    ):
         final = select_fn(
             sampler.store, params.k, params.num_threads, counter_arg()
         )
@@ -144,3 +178,27 @@ def run_imm(
     )
     result.theta_capped = theta_capped  # type: ignore[attr-defined]
     return result
+
+
+def _record_imm_telemetry(tel, result: IMMResult, framework: str) -> None:
+    """Project one finished run onto the unified schema.
+
+    The gauges here are what the golden telemetry test cross-checks against
+    the :class:`IMMResult` (theta, RRR-set count, seed count), and the
+    kernel/phase bridges expose the same numbers the simulated-machine
+    experiments consume — one schema for simulated and real runs.
+    """
+    reg = tel.registry
+    reg.counter("imm.runs").inc()
+    reg.counter(f"imm.runs.{framework.lower()}").inc()
+    reg.gauge("imm.theta").set(result.theta)
+    reg.gauge("imm.num_rrrsets").set(result.num_rrrsets)
+    reg.gauge("imm.k").set(result.params.k)
+    reg.gauge("imm.num_seeds").set(int(result.seeds.size))
+    reg.gauge("imm.coverage_fraction").set(result.coverage_fraction)
+    reg.gauge("imm.opt_lower_bound").set(result.opt_lower_bound)
+    reg.gauge("imm.spread_estimate").set(result.spread_estimate)
+    reg.gauge("imm.rrr_store_bytes").set(result.rrr_store_bytes)
+    telemetry.record_stage_times(reg, result.times)
+    for kernel, stats in result.stats.items():
+        telemetry.record_kernel_stats(reg, kernel, stats)

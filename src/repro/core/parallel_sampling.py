@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import spawn_rngs
 from repro.core.sampling import reverse_sample_with_cost
 from repro.diffusion.base import get_model
@@ -58,14 +59,27 @@ def worker_task(args: tuple[int, int]) -> tuple[bytes, np.ndarray]:
     n = model.graph.num_vertices
     chunks: list[np.ndarray] = []
     sizes = np.empty(count, dtype=np.int64)
+    edges_total = 0
     for i in range(count):
         root = int(rng.integers(0, n))
-        verts, _ = reverse_sample_with_cost(model, root, rng)
+        verts, edges = reverse_sample_with_cost(model, root, rng)
         chunks.append(np.sort(verts))
         sizes[i] = verts.size
+        edges_total += edges
     flat = (
         np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int32)
     )
+    tel = telemetry.get()
+    if tel.enabled and count:
+        # Same `sampling.*` schema as the in-process sampler; recorded in
+        # the worker's registry and shipped back via the backend's
+        # merge-on-reduce protocol (repro.runtime.backends).
+        reg = tel.registry
+        reg.counter("sampling.rrr_sets").inc(count)
+        reg.counter("sampling.edges_examined").inc(edges_total)
+        hist = reg.histogram("sampling.set_size")
+        for s in sizes.tolist():
+            hist.observe(s)
     return flat.astype(np.int32).tobytes(), sizes
 
 
@@ -108,17 +122,25 @@ def parallel_generate(
     elif isinstance(backend, SerialBackend):
         _init_worker(graph, model_name)
 
-    try:
-        results = backend.run_tasks(worker_task, tasks)
-    finally:
-        if owns_backend:
-            backend.close()
+    tel = telemetry.get()
+    with tel.span(
+        "sampling.parallel_generate",
+        backend=backend.backend_name, num_workers=num_workers, count=count,
+    ):
+        try:
+            results = backend.run_tasks(worker_task, tasks)
+        finally:
+            if owns_backend:
+                backend.close()
 
-    store = FlatRRRStore(graph.num_vertices, sort_sets=True)
-    for blob, sizes in results:
-        flat = np.frombuffer(blob, dtype=np.int32)
-        offset = 0
-        for size in sizes.tolist():
-            store.append(flat[offset : offset + size])
-            offset += size
+        store = FlatRRRStore(graph.num_vertices, sort_sets=True)
+        for blob, sizes in results:
+            flat = np.frombuffer(blob, dtype=np.int32)
+            offset = 0
+            for size in sizes.tolist():
+                store.append(flat[offset : offset + size])
+                offset += size
+    if tel.enabled:
+        tel.registry.gauge("sketch.store.sets").set(len(store))
+        tel.registry.gauge("sketch.store.entries").set(store.total_entries)
     return store

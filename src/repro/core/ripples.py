@@ -63,4 +63,5 @@ class RipplesIMM:
             self.sampling_config(params),
             select,
             gather_before_select=True,
+            framework=self.name,
         )

@@ -22,10 +22,12 @@ not need to materialise per-set objects.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro._util import as_rng
 from repro.core.params import KernelStats
 from repro.diffusion.base import DiffusionModel
@@ -184,8 +186,11 @@ class RRRSampler:
         """Generate sets until the store holds ``target_count`` of them."""
         cfg = self.config
         n = self.model.graph.num_vertices
+        tel = telemetry.get()
+        t0 = time.perf_counter() if tel.enabled else 0.0
         new_costs: list[float] = []
         new_sizes: list[int] = []
+        new_edges = 0
         while len(self.store) < target_count:
             root = int(self.rng.integers(0, n))
             verts, edges = reverse_sample_with_cost(self.model, root, self.rng)
@@ -209,12 +214,33 @@ class RRRSampler:
                 cost += size
             new_costs.append(cost)
             new_sizes.append(size)
+            new_edges += edges
             self.per_set_costs.append(cost)
             self.per_set_edges.append(edges)
 
         if new_costs:
             self._attribute(np.asarray(new_costs), np.asarray(new_sizes))
         self._check_budget()
+        if tel.enabled and new_sizes:
+            self._record_telemetry(tel, new_sizes, new_edges, time.perf_counter() - t0)
+
+    def _record_telemetry(
+        self, tel, new_sizes: list[int], new_edges: int, elapsed: float
+    ) -> None:
+        """Unified sampling metrics (docs/observability.md, `sampling.*`)."""
+        reg = tel.registry
+        reg.counter("sampling.rrr_sets").inc(len(new_sizes))
+        reg.counter("sampling.edges_examined").inc(new_edges)
+        if self.config.fused:
+            reg.counter("sampling.atomic_updates").inc(sum(new_sizes))
+        hist = reg.histogram("sampling.set_size")
+        for s in new_sizes:
+            hist.observe(s)
+        if elapsed > 0:
+            reg.gauge("sampling.rrr_sets_per_sec").set(len(new_sizes) / elapsed)
+        reg.gauge("sketch.store.sets").set(len(self.store))
+        reg.gauge("sketch.store.entries").set(self.store.total_entries)
+        reg.gauge("sketch.store.bytes").set(self.modelled_bytes())
 
     def _attribute(self, costs: np.ndarray, sizes: np.ndarray) -> None:
         """Charge this batch's work to emulated threads per the schedule."""

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.params import KernelStats
 from repro.errors import ParameterError
 from repro.runtime.partition import block_partition
@@ -298,9 +299,24 @@ def efficient_select(
             break
 
     coverage = covered_total / num_sets if num_sets else 0.0
+    _record_selection_telemetry(rounds)
     return SelectionResult(
         seeds=seeds, coverage_fraction=coverage, stats=stats, rounds=rounds
     )
+
+
+def _record_selection_telemetry(rounds: list[dict]) -> None:
+    """One guarded block per kernel call: round counts by update method
+    (`selection.*`, docs/observability.md) — the §IV-C adaptive-update
+    decisions Figure 5 ablates, now observable on any run."""
+    tel = telemetry.get()
+    if not tel.enabled:
+        return
+    reg = tel.registry
+    reg.counter("selection.rounds").inc(len(rounds))
+    for r in rounds:
+        reg.counter(f"selection.method.{r['method']}").inc()
+        reg.counter("selection.covered_entries").inc(r["covered_entries"])
 
 
 # ================================================================= Ripples
@@ -406,6 +422,7 @@ def ripples_select(
             break
 
     coverage = covered_total / num_sets if num_sets else 0.0
+    _record_selection_telemetry(rounds)
     return SelectionResult(
         seeds=seeds, coverage_fraction=coverage, stats=stats, rounds=rounds
     )

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.distributed.cluster import ClusterTopology
 from repro.errors import ParameterError
 
@@ -37,6 +38,13 @@ class CommStats:
         self.bytes_on_wire += nbytes
         self.comm_time_s += seconds
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        tel = telemetry.get()
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("comm.collectives").inc()
+            reg.counter("comm.bytes_on_wire").inc(nbytes)
+            reg.counter("comm.time_s").inc(seconds)
+            reg.counter(f"comm.kind.{kind}").inc()
 
 
 class SimulatedComm:

@@ -12,17 +12,45 @@ core count.
 The backend interface is deliberately tiny — ``run_tasks(worker_fn, tasks)``
 with an optional per-process initializer — because both frameworks'
 parallel sections reduce to "map independent work, then reduce".
+
+Telemetry (docs/observability.md): when the global session is enabled,
+``run_tasks`` wraps every task to record per-task latency
+(``runtime.task_latency_s``), task/failure counts, worker utilisation, and
+reduce time.  Forked workers inherit the enabled session; each wrapped task
+snapshots the worker-local registry around the call and ships the *delta*
+back with its result, which the parent merges on reduce — so counters
+recorded inside worker code (e.g. ``sampling.rrr_sets``) aggregate exactly
+as they do in-process.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Sequence
 
+from repro import telemetry
 from repro.errors import BackendError
+from repro.telemetry.metrics import diff_snapshots
 
 __all__ = ["ExecutionBackend", "SerialBackend", "MultiprocessBackend", "make_backend"]
+
+
+def _instrumented_task(packed: tuple[Callable[[Any], Any], Any]):
+    """Run one task in a worker, returning (result, seconds, metrics delta).
+
+    Module-level so the fork pool can pickle it; ``worker_fn`` rides along
+    in the payload.  The delta is the worker registry's growth during the
+    task — the per-worker buffer half of the merge-on-reduce protocol.
+    """
+    worker_fn, task = packed
+    tel = telemetry.get()
+    before = tel.registry.snapshot()
+    t0 = time.perf_counter()
+    result = worker_fn(task)
+    elapsed = time.perf_counter() - t0
+    return result, elapsed, diff_snapshots(tel.registry.snapshot(), before)
 
 
 class ExecutionBackend(ABC):
@@ -30,6 +58,9 @@ class ExecutionBackend(ABC):
 
     #: Number of workers the backend actually uses.
     num_workers: int = 1
+
+    #: Telemetry label distinguishing backend-specific metrics.
+    backend_name: str = "backend"
 
     @abstractmethod
     def run_tasks(
@@ -48,14 +79,53 @@ class ExecutionBackend(ABC):
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # ------------------------------------------------------------- telemetry
+    def _record_run(
+        self,
+        task_seconds: list[float],
+        wall_seconds: float,
+        reduce_seconds: float = 0.0,
+    ) -> None:
+        """Record the unified per-run metrics (enabled-session callers only)."""
+        reg = telemetry.get().registry
+        lat = reg.histogram("runtime.task_latency_s")
+        for s in task_seconds:
+            lat.observe(s)
+        reg.counter("runtime.tasks").inc(len(task_seconds))
+        reg.counter("runtime.reduce_s").inc(reduce_seconds)
+        busy = sum(task_seconds)
+        capacity = self.num_workers * wall_seconds
+        reg.gauge("runtime.worker_utilization").set(
+            busy / capacity if capacity > 0 else 0.0
+        )
+        reg.gauge("runtime.num_workers").set(self.num_workers)
+
 
 class SerialBackend(ExecutionBackend):
     """Run everything inline; the reference for correctness tests."""
 
     num_workers = 1
+    backend_name = "serial"
 
     def run_tasks(self, worker_fn, tasks):
-        return [worker_fn(t) for t in tasks]
+        tel = telemetry.get()
+        if not tel.enabled:
+            return [worker_fn(t) for t in tasks]
+        with tel.span("runtime.run_tasks", backend=self.backend_name,
+                      num_workers=1, num_tasks=len(tasks)):
+            t0 = time.perf_counter()
+            results: list[Any] = []
+            task_seconds: list[float] = []
+            for t in tasks:
+                s0 = time.perf_counter()
+                try:
+                    results.append(worker_fn(t))
+                except Exception:
+                    tel.registry.counter("runtime.task_failures").inc()
+                    raise
+                task_seconds.append(time.perf_counter() - s0)
+            self._record_run(task_seconds, time.perf_counter() - t0)
+            return results
 
 
 class MultiprocessBackend(ExecutionBackend):
@@ -70,6 +140,8 @@ class MultiprocessBackend(ExecutionBackend):
         module-level slot so tasks only carry small descriptors).
     """
 
+    backend_name = "multiprocess"
+
     def __init__(
         self,
         num_workers: int | None = None,
@@ -79,6 +151,7 @@ class MultiprocessBackend(ExecutionBackend):
     ):
         import multiprocessing as mp
 
+        self._pool = None  # so close() is safe even if __init__ fails below
         if num_workers is not None and num_workers <= 0:
             raise BackendError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
@@ -93,13 +166,46 @@ class MultiprocessBackend(ExecutionBackend):
     def run_tasks(self, worker_fn, tasks):
         if self._pool is None:
             raise BackendError("backend already closed")
-        return self._pool.map(worker_fn, list(tasks))
+        tel = telemetry.get()
+        if not tel.enabled:
+            return self._pool.map(worker_fn, list(tasks))
+        with tel.span("runtime.run_tasks", backend=self.backend_name,
+                      num_workers=self.num_workers, num_tasks=len(tasks)):
+            t0 = time.perf_counter()
+            try:
+                packed = self._pool.map(
+                    _instrumented_task, [(worker_fn, t) for t in tasks]
+                )
+            except Exception:
+                tel.registry.counter("runtime.task_failures").inc()
+                raise
+            wall = time.perf_counter() - t0
+            # Reduce: unpack results and merge the worker metric deltas.
+            r0 = time.perf_counter()
+            results = [r for r, _, _ in packed]
+            task_seconds = [s for _, s, _ in packed]
+            with tel.span("runtime.reduce", num_tasks=len(tasks)):
+                for _, _, delta in packed:
+                    tel.registry.merge_snapshot(delta)
+            self._record_run(task_seconds, wall, time.perf_counter() - r0)
+            return results
 
     def close(self) -> None:
-        if getattr(self, "_pool", None) is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Terminate the pool; idempotent and exception-safe.
+
+        Safe to call repeatedly, after a worker exception, or on a
+        half-constructed instance: the pool handle is detached first, and
+        teardown errors (e.g. an already-dead pool) are suppressed so
+        ``with``-block exits never mask the original exception.
+        """
+        pool, self._pool = getattr(self, "_pool", None), None
+        if pool is None:
+            return
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
 
 
 def make_backend(
@@ -107,7 +213,16 @@ def make_backend(
     num_workers: int | None = None,
     **kwargs,
 ) -> ExecutionBackend:
-    """Factory: ``"serial"`` or ``"multiprocess"``."""
+    """Factory: ``"serial"`` or ``"multiprocess"``.
+
+    Validates ``num_workers`` up front so misconfiguration fails with a
+    :class:`~repro.errors.BackendError` here rather than a downstream crash
+    inside a pool or partitioner.
+    """
+    if num_workers is not None and num_workers < 1:
+        raise BackendError(
+            f"num_workers must be >= 1, got {num_workers} (backend {name!r})"
+        )
     if name == "serial":
         return SerialBackend()
     if name == "multiprocess":

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.runtime.partition import block_partition
 from repro.sketch.rrr import AdaptivePolicy
 from repro.sketch.store import FlatRRRStore
@@ -187,12 +188,26 @@ def trace_efficient_selection(
             seeds[rnd + 1 : rnd + 1 + fill.size] = fill
             break
 
-    return SelectionTraceResult(
-        framework="EfficientIMM",
-        num_threads=num_threads,
-        per_thread=[c.counts for c in caches],
-        seeds=seeds,
+    return _record_selection_trace(
+        SelectionTraceResult(
+            framework="EfficientIMM",
+            num_threads=num_threads,
+            per_thread=[c.counts for c in caches],
+            seeds=seeds,
+        )
     )
+
+
+def _record_selection_trace(res: SelectionTraceResult) -> SelectionTraceResult:
+    """Surface a trace's cache counters through the unified registry, under
+    the same ``cache.<kernel>.*`` names a real run would use (the Table IV
+    numbers become readable from telemetry output)."""
+    tel = telemetry.get()
+    if tel.enabled:
+        telemetry.record_access_counts(
+            tel.registry, f"{res.framework}.selection", res.total
+        )
+    return res
 
 
 def trace_ripples_selection(
@@ -277,11 +292,13 @@ def trace_ripples_selection(
             seeds[rnd + 1 : rnd + 1 + fill.size] = fill
             break
 
-    return SelectionTraceResult(
-        framework="Ripples",
-        num_threads=num_threads,
-        per_thread=[c.counts for c in caches],
-        seeds=seeds,
+    return _record_selection_trace(
+        SelectionTraceResult(
+            framework="Ripples",
+            num_threads=num_threads,
+            per_thread=[c.counts for c in caches],
+            seeds=seeds,
+        )
     )
 
 
@@ -399,13 +416,20 @@ def trace_sampling(
                     * bind_contention
                 )
 
-    return SamplingTraceResult(
+    res = SamplingTraceResult(
         num_threads=num_threads,
         num_sets=num_sets,
         per_thread=[c.counts for c in caches],
         dram_ns_local=dram_local,
         dram_ns_bind=dram_bind,
     )
+    tel = telemetry.get()
+    if tel.enabled:
+        telemetry.record_access_counts(tel.registry, "sampling", res.total)
+        tel.registry.gauge("numa.dram_ns_local").set(res.dram_ns_local)
+        tel.registry.gauge("numa.dram_ns_bind").set(res.dram_ns_bind)
+        tel.registry.gauge("numa.benefit").set(res.numa_benefit)
+    return res
 
 
 def _traced_ic_bfs(

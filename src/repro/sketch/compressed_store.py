@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import OutOfMemoryModelError, ParameterError
 from repro.sketch.compress import DeltaVarintCodec, HuffmanCodec
 from repro.sketch.store import FlatRRRStore
@@ -97,6 +98,13 @@ class CompressedRRRStore:
             )
         self._blobs.append(blob)
         self._bytes = new_total
+        tel = telemetry.get()
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("sketch.compressed.sets").inc()
+            reg.gauge("sketch.compressed.bytes").set(self.nbytes())
+            reg.gauge("sketch.compressed.ratio").set(self.compression_ratio)
+            reg.gauge("sketch.compressed.encode_s").set(self.encode_seconds)
 
     def finalize(self) -> None:
         """Force codebook training and flush any buffered sets."""
@@ -119,6 +127,9 @@ class CompressedRRRStore:
         t0 = time.perf_counter()
         out = self._codec.decode(self._blobs[i])
         self.decode_seconds += time.perf_counter() - t0
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.gauge("sketch.compressed.decode_s").set(self.decode_seconds)
         return np.sort(out)
 
     def sizes(self) -> np.ndarray:

@@ -23,6 +23,7 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import OutOfMemoryModelError, ParameterError
 from repro.sketch.rrr import AdaptivePolicy, RRRSet, make_rrr
 
@@ -165,6 +166,12 @@ class AdaptiveRRRStore:
             raise OutOfMemoryModelError(new_total, self.budget_bytes)
         self._sets.append(rrr)
         self._bytes = new_total
+        tel = telemetry.get()
+        if tel.enabled:
+            # One counter per representation kind: the §IV-C list↔bitmap
+            # decision stream (docs/observability.md, `sketch.adaptive.*`).
+            tel.registry.counter(f"sketch.adaptive.{rrr.kind}_sets").inc()
+            tel.registry.gauge("sketch.adaptive.bytes").set(new_total)
         return rrr
 
     def __len__(self) -> int:

@@ -1,0 +1,109 @@
+"""Serialise a telemetry session to the two on-disk artefacts.
+
+- ``metrics.json`` — the registry snapshot (schema ``repro-telemetry/1``)
+  plus optional run metadata under ``"run"``;
+- ``trace.json`` — Chrome trace-event format (open via ``chrome://tracing``
+  or https://ui.perfetto.dev), with the span tree additionally embedded
+  under the non-standard ``"spanTree"`` key (Chrome ignores unknown keys)
+  so one file serves both machines and humans.
+
+Benchmarks use :func:`bench_payload` /:func:`write_bench_json` to emit the
+``BENCH_*.json``-compatible schema (``repro-bench/1``): one object per
+benchmark with free-form scalar ``fields`` and the full metrics snapshot,
+machine-diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "write_metrics_json",
+    "write_chrome_trace",
+    "write_report",
+    "bench_payload",
+    "write_bench_json",
+    "BENCH_SCHEMA",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def _environment() -> dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "unix_time": time.time(),
+    }
+
+
+def write_metrics_json(path: str | Path, registry, run: dict[str, Any] | None = None) -> Path:
+    """Write the registry snapshot (plus run metadata) as JSON; returns path."""
+    doc = registry.snapshot()
+    doc["run"] = dict(run or {})
+    doc["environment"] = _environment()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True, default=float))
+    return path
+
+
+def write_chrome_trace(path: str | Path, tracer, run: dict[str, Any] | None = None) -> Path:
+    """Write the span tree as a Chrome trace-event JSON file; returns path."""
+    doc = tracer.to_chrome_trace()
+    doc["spanTree"] = tracer.to_dict()
+    doc["otherData"] = {"run": dict(run or {}), **_environment()}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, default=float))
+    return path
+
+
+def write_report(out_dir: str | Path, telemetry, run: dict[str, Any] | None = None) -> dict[str, Path]:
+    """Write ``metrics.json`` + ``trace.json`` under ``out_dir``."""
+    out = Path(out_dir)
+    return {
+        "metrics": write_metrics_json(out / "metrics.json", telemetry.registry, run),
+        "trace": write_chrome_trace(out / "trace.json", telemetry.tracer, run),
+    }
+
+
+def bench_payload(
+    name: str,
+    registry=None,
+    *,
+    fields: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The unified benchmark record: schema + fields + metrics snapshot."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "environment": _environment(),
+        "fields": dict(fields or {}),
+        "metrics": registry.snapshot() if registry is not None else None,
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    name: str,
+    registry=None,
+    *,
+    fields: dict[str, Any] | None = None,
+) -> Path:
+    """Write one ``BENCH_*.json``-compatible record; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            bench_payload(name, registry, fields=fields),
+            indent=2,
+            sort_keys=True,
+            default=float,
+        )
+    )
+    return path
