@@ -1,0 +1,63 @@
+"""Serving-layer bench (our addition): warm vs cold query latency.
+
+The serving layer's claim is architectural, not algorithmic: once a
+sketch is cached, a query pays only graph-free incremental selection —
+no sampling, no graph load.  This bench measures the cold/warm latency
+gap and the cache hit rate on a mixed 20-query workload, and emits both
+as a ``repro-bench/1`` record.
+"""
+
+import time
+
+import numpy as np
+
+from repro.service import EngineConfig, IMQuery, QueryEngine
+
+THETA = 2000
+
+
+def _q(dataset, k, **kw):
+    return IMQuery(dataset=dataset, k=k, theta_cap=THETA, **kw)
+
+
+def test_warm_vs_cold_latency(benchmark, bench_record):
+    with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+        cold = eng.query(_q("amazon", 10))
+        warm = benchmark.pedantic(
+            lambda: eng.query(_q("amazon", 10)), rounds=3, iterations=1
+        )
+        assert cold.ok and not cold.cached
+        assert warm.ok and warm.cached
+        assert warm.seeds == cold.seeds
+
+        # A mixed workload over two datasets: 2 cold passes serve 20 queries.
+        rng = np.random.default_rng(11)
+        t0 = time.perf_counter()
+        responses = [
+            eng.query(_q(["amazon", "dblp"][i % 2], int(rng.integers(1, 25))))
+            for i in range(20)
+        ]
+        mixed_s = time.perf_counter() - t0
+        assert all(r.ok for r in responses)
+        hit_rate = eng.cache.stats.hit_rate
+
+    speedup = cold.latency_s / warm.latency_s if warm.latency_s else float("inf")
+    print(
+        f"\ncold {cold.latency_s * 1e3:.1f} ms -> warm {warm.latency_s * 1e3:.1f} ms "
+        f"({speedup:.0f}x); 20-query mixed workload {mixed_s:.2f}s, "
+        f"hit rate {hit_rate:.2f}"
+    )
+    bench_record(
+        "service_warm_vs_cold",
+        theta=THETA, k=10,
+        cold_latency_s=cold.latency_s,
+        warm_latency_s=warm.latency_s,
+        warm_speedup=speedup,
+        mixed_queries=20,
+        mixed_workload_s=mixed_s,
+        cache_hit_rate=hit_rate,
+        cold_samples=eng.stats.cold_samples,
+    )
+    assert warm.latency_s < cold.latency_s
+    assert hit_rate > 0.5
+    assert eng.stats.cold_samples == 2

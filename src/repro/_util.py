@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ParameterError
+
 __all__ = [
     "as_rng",
     "spawn_rngs",
@@ -135,7 +137,7 @@ def check_positive_int(name: str, value: int) -> int:
     """Validate that ``value`` is a positive integer; return it as ``int``."""
     iv = int(value)
     if iv != value or iv <= 0:
-        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        raise ParameterError(f"{name} must be a positive integer, got {value!r}")
     return iv
 
 
@@ -145,7 +147,7 @@ def check_fraction(name: str, value: float, *, open_left: bool = True) -> float:
     lo_ok = fv > 0.0 if open_left else fv >= 0.0
     if not (lo_ok and fv <= 1.0):
         interval = "(0, 1]" if open_left else "[0, 1]"
-        raise ValueError(f"{name} must be in {interval}, got {value!r}")
+        raise ParameterError(f"{name} must be in {interval}, got {value!r}")
     return fv
 
 

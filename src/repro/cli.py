@@ -9,6 +9,8 @@ Usage::
     repro run youtube --telemetry out/     # + metrics.json & trace.json
     repro trace amazon --k 10              # telemetry-first run
     repro datasets                  # replica inventory vs paper stats
+    repro query amazon --k 10 --artifacts store/   # cached serving, one-shot
+    repro serve --artifacts store/  # JSON-lines query loop on stdin/stdout
 
 (Equivalently: ``python -m repro ...``.)  ``--telemetry DIR`` / ``trace``
 enable the :mod:`repro.telemetry` session around the run and write the
@@ -129,6 +131,64 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--memory", action="store_true",
         help="also attribute tracemalloc memory to spans (slower)",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="serve one IM query through the caching engine (docs/serving.md)",
+    )
+    query.add_argument("dataset", help="dataset name, e.g. 'amazon'")
+    query.add_argument("--model", default="IC", choices=("IC", "LT"))
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--epsilon", type=float, default=0.5)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--theta-cap", type=int, default=None,
+        help="sketch size in RRR sets (default: the engine's 2000)",
+    )
+    query.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline; expiry yields a timeout response",
+    )
+    query.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist/reuse sketch artifacts under DIR (warm across runs)",
+    )
+    query.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="in-memory sketch cache budget (default 256 MiB)",
+    )
+    query.add_argument(
+        "--json", action="store_true", help="print the raw JSON response"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="JSON-lines IM query server on stdin/stdout (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist/reuse sketch artifacts under DIR",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="in-memory sketch cache budget (default 256 MiB)",
+    )
+    serve.add_argument(
+        "--default-theta", type=int, default=2000,
+        help="sketch size for queries without theta_cap",
+    )
+    serve.add_argument(
+        "--backend", default="serial", choices=("serial", "multiprocess"),
+        help="cold-sampling execution backend",
+    )
+    serve.add_argument(
+        "--num-workers", type=int, default=1,
+        help="sampling workers per cold pass",
+    )
+    serve.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write DIR/metrics.json and DIR/trace.json at shutdown",
     )
     return parser
 
@@ -351,25 +411,135 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _engine_config(args: argparse.Namespace, **overrides):
+    from repro.service import EngineConfig
+
+    kwargs: dict = {}
+    if getattr(args, "cache_bytes", None) is not None:
+        kwargs["cache_budget_bytes"] = args.cache_bytes
+    if getattr(args, "artifacts", None) is not None:
+        kwargs["artifact_dir"] = args.artifacts
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service import IMQuery, QueryEngine
+
+    query = IMQuery(
+        dataset=args.dataset, model=args.model, k=args.k,
+        epsilon=args.epsilon, seed=args.seed, theta_cap=args.theta_cap,
+        deadline_s=args.deadline,
+    )
+    with QueryEngine(_engine_config(args)) as engine:
+        resp = engine.query(query)
+    if args.json:
+        print(resp.to_json())
+        return 0 if resp.ok else (2 if resp.status == "error" else 3)
+    if not resp.ok:
+        print(f"error: {resp.error}", file=sys.stderr)
+        return 2 if resp.status == "error" else 3
+    source = "cache/artifact (warm)" if resp.cached else "cold sampling"
+    print(
+        f"{args.dataset} [{args.model}] k={args.k}: "
+        f"spread estimate {resp.spread_estimate:.1f} "
+        f"({resp.coverage_fraction:.1%} of {resp.num_rrrsets} RRR sets), "
+        f"served from {source} in {resp.latency_s:.3f}s"
+    )
+    print("seeds:", " ".join(map(str, resp.seeds)))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import telemetry
+    from repro.errors import ParameterError
+    from repro.service import QueryEngine, parse_request_line
+
+    config = _engine_config(
+        args,
+        default_theta=args.default_theta,
+        backend=args.backend,
+        num_workers=args.num_workers,
+    )
+    served = 0
+    with telemetry.session() as tel, QueryEngine(config) as engine:
+        for raw in sys.stdin:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = parse_request_line(line)
+            except ParameterError as exc:
+                print(json.dumps({"status": "error", "error": str(exc)}), flush=True)
+                continue
+            if isinstance(request, dict):  # control operation
+                if request.get("op") == "stats":
+                    snap = tel.snapshot()
+                    print(
+                        json.dumps(
+                            {
+                                "status": "ok", "op": "stats",
+                                **engine.stats_snapshot(),
+                                "counters": snap["counters"],
+                            },
+                            default=float,
+                        ),
+                        flush=True,
+                    )
+                elif request.get("op") == "shutdown":
+                    print(json.dumps({"status": "ok", "op": "shutdown"}), flush=True)
+                    break
+                else:
+                    print(
+                        json.dumps(
+                            {"status": "error",
+                             "error": f"unknown op {request.get('op')!r}"}
+                        ),
+                        flush=True,
+                    )
+                continue
+            for resp in engine.execute(request):
+                served += 1
+                print(resp.to_json(), flush=True)
+        if args.telemetry is not None:
+            paths = telemetry.write_report(
+                args.telemetry, tel, run={"command": "serve", "queries": served}
+            )
+            print(
+                f"telemetry: {paths['metrics']} {paths['trace']}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ParameterError
+
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "datasets":
-        return _cmd_datasets()
-    if args.command == "experiment":
-        return _cmd_experiment(args.id, args.csv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "extract-results":
-        return _cmd_extract(args)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    raise AssertionError("unreachable")
+    dispatch = {
+        "list": lambda: _cmd_list(),
+        "datasets": lambda: _cmd_datasets(),
+        "experiment": lambda: _cmd_experiment(args.id, args.csv),
+        "run": lambda: _cmd_run(args),
+        "trace": lambda: _cmd_trace(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "extract-results": lambda: _cmd_extract(args),
+        "validate": lambda: _cmd_validate(args),
+        "query": lambda: _cmd_query(args),
+        "serve": lambda: _cmd_serve(args),
+    }
+    cmd = dispatch.get(args.command)
+    if cmd is None:
+        raise AssertionError("unreachable")
+    try:
+        return cmd()
+    except ParameterError as exc:
+        # Bad parameters (k > |V|, epsilon out of range, ...) are user
+        # errors: one clean line on stderr and exit code 2, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

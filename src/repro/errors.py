@@ -51,5 +51,14 @@ class OutOfMemoryModelError(ReproError):
         )
 
 
+class ArtifactError(ReproError):
+    """A persisted graph/sketch artifact is missing, corrupt, or mismatched.
+
+    Raised by :mod:`repro.service.artifacts` when a saved ``.npz`` artifact
+    fails its integrity check (checksum, schema version, or fingerprint)
+    rather than silently serving stale or truncated sketch data.
+    """
+
+
 class SimulationError(ReproError):
     """The machine simulator was driven with inconsistent state."""

@@ -9,8 +9,10 @@ arrays directly so the dataset registry can cache generated replicas.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
 import os
+import zlib
 from pathlib import Path
 from typing import IO
 
@@ -27,6 +29,9 @@ __all__ = [
     "write_matrix_market",
     "save_npz",
     "load_npz",
+    "graph_checksum",
+    "graph_fingerprint",
+    "GRAPH_NPZ_VERSION",
 ]
 
 
@@ -198,26 +203,68 @@ def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{u + 1} {v + 1} {p:.10g}\n")
 
 
+#: Version of the on-disk ``.npz`` graph schema.  Version 2 adds the
+#: CRC-32 ``checksum`` field; version-1 archives (no checksum) still load.
+GRAPH_NPZ_VERSION = 2
+
+
+def graph_checksum(graph: CSRGraph) -> int:
+    """CRC-32 over the CSR arrays (the integrity check of the binary format)."""
+    crc = zlib.crc32(np.int64(graph.num_vertices).tobytes())
+    for arr in (graph.indptr, graph.indices, graph.probs):
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Content hash of a graph (vertex count + CSR arrays), as a short hex
+    string.  This is the ``graph`` component of the serving layer's artifact
+    fingerprints (:mod:`repro.service`): two graphs share a fingerprint iff
+    their topology and edge probabilities are bit-identical.
+    """
+    h = hashlib.sha256()
+    h.update(np.int64(graph.num_vertices).tobytes())
+    for arr in (graph.indptr, graph.indices, graph.probs):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()[:16]
+
+
 def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
-    """Persist the CSR arrays losslessly (compressed ``.npz``)."""
+    """Persist the CSR arrays losslessly (compressed ``.npz``).
+
+    The archive carries a schema version and a CRC-32 checksum so
+    :func:`load_npz` can detect truncated or tampered artifacts instead of
+    constructing a graph from corrupt arrays.
+    """
     np.savez_compressed(
         Path(path),
         num_vertices=np.int64(graph.num_vertices),
         indptr=graph.indptr,
         indices=graph.indices,
         probs=graph.probs,
+        format_version=np.int64(GRAPH_NPZ_VERSION),
+        checksum=np.uint32(graph_checksum(graph)),
     )
 
 
 def load_npz(path: str | os.PathLike) -> CSRGraph:
-    """Load a graph written by :func:`save_npz`."""
+    """Load a graph written by :func:`save_npz`, verifying its checksum."""
     try:
         with np.load(Path(path)) as data:
-            return CSRGraph(
+            graph = CSRGraph(
                 int(data["num_vertices"]),
                 data["indptr"],
                 data["indices"],
                 data["probs"],
             )
+            if "checksum" in data.files:
+                expected = int(data["checksum"])
+                actual = graph_checksum(graph)
+                if actual != expected:
+                    raise GraphFormatError(
+                        f"{path}: checksum mismatch (stored {expected:#010x}, "
+                        f"computed {actual:#010x}); the archive is corrupt"
+                    )
+            return graph
     except KeyError as exc:
         raise GraphFormatError(f"{path}: not a repro graph archive") from exc

@@ -16,7 +16,12 @@ on:
 """
 
 from repro.runtime.atomic import AtomicCounterArray
-from repro.runtime.backends import ExecutionBackend, MultiprocessBackend, SerialBackend
+from repro.runtime.backends import (
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.runtime.partition import (
     balanced_partition,
     block_partition,
@@ -29,6 +34,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "MultiprocessBackend",
+    "make_backend",
     "block_partition",
     "cyclic_partition",
     "balanced_partition",

@@ -1,0 +1,56 @@
+"""repro.service — persistent sketch store + cached, batched query serving.
+
+The serving layer turns the per-query cost of influence maximisation from
+"full IMM" (graph build + RRR sampling + selection) into "selection kernel
+only" for warm traffic, the way a production deployment would sit in front
+of the algorithm:
+
+- :mod:`repro.service.protocol` — :class:`IMQuery`/:class:`IMResponse`
+  records and the JSON-lines wire format of ``repro serve``;
+- :mod:`repro.service.artifacts` — fingerprint-keyed, checksummed ``.npz``
+  persistence for graphs and all three RRR-store layouts;
+- :mod:`repro.service.cache` — the byte-accounted LRU of warm sketches;
+- :mod:`repro.service.engine` — the batching, deadline-enforcing
+  :class:`QueryEngine` on top of :mod:`repro.runtime.backends`.
+
+Typical use::
+
+    from repro.service import EngineConfig, IMQuery, QueryEngine
+
+    with QueryEngine(EngineConfig(artifact_dir="artifacts/")) as engine:
+        cold = engine.query(IMQuery(dataset="amazon", k=10))
+        warm = engine.query(IMQuery(dataset="amazon", k=25))  # cache hit
+        assert warm.cached
+
+From the shell: ``repro query amazon --k 10`` (one-shot) and
+``repro serve`` (JSON-lines request loop on stdin/stdout); see
+docs/serving.md.
+"""
+
+from repro.service.artifacts import (
+    SKETCH_SCHEMA_VERSION,
+    ArtifactStore,
+    load_store,
+    save_store,
+    sketch_fingerprint,
+)
+from repro.service.cache import CacheEntry, CacheStats, SketchCache
+from repro.service.engine import EngineConfig, QueryEngine, ServiceStats
+from repro.service.protocol import IMQuery, IMResponse, parse_request_line
+
+__all__ = [
+    "IMQuery",
+    "IMResponse",
+    "parse_request_line",
+    "ArtifactStore",
+    "save_store",
+    "load_store",
+    "sketch_fingerprint",
+    "SKETCH_SCHEMA_VERSION",
+    "SketchCache",
+    "CacheEntry",
+    "CacheStats",
+    "EngineConfig",
+    "QueryEngine",
+    "ServiceStats",
+]

@@ -1,0 +1,311 @@
+"""Versioned ``.npz`` persistence for graphs and RRR-sketch stores.
+
+Every artifact is keyed by a **content fingerprint** so a warm `repro
+serve`/`repro query` process (or a later one) can skip sampling entirely:
+
+- a *graph* fingerprint (:func:`repro.graph.io.graph_fingerprint`) hashes
+  the CSR arrays;
+- a *sketch* fingerprint (:func:`sketch_fingerprint`) combines the graph
+  fingerprint with everything that determines the sampled sets: diffusion
+  model, epsilon, RNG seed, and the sketch size.
+
+Artifacts carry a schema version and a CRC-32 checksum over their payload
+arrays; :func:`load_store` and :class:`ArtifactStore` verify both and raise
+:class:`~repro.errors.ArtifactError` on any mismatch — a corrupt artifact is
+reported (and treated as a cache miss by the engine), never silently served.
+
+The store serializers cover all three RRR-store layouts
+(:class:`~repro.sketch.store.FlatRRRStore`,
+:class:`~repro.sketch.store.AdaptiveRRRStore`,
+:class:`~repro.sketch.store.PartitionedRRRStore`): a loaded store is
+selection-kernel-equivalent to the saved one (identical seeds out of
+``efficient_select``/``ripples_select``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ArtifactError
+from repro.graph.csr import CSRGraph
+from repro.graph.io import graph_fingerprint, load_npz, save_npz
+from repro.sketch.rrr import AdaptivePolicy
+from repro.sketch.store import AdaptiveRRRStore, FlatRRRStore, PartitionedRRRStore
+
+__all__ = [
+    "SKETCH_SCHEMA_VERSION",
+    "sketch_fingerprint",
+    "save_store",
+    "load_store",
+    "ArtifactStore",
+]
+
+#: Version of the on-disk sketch artifact schema.
+SKETCH_SCHEMA_VERSION = 1
+
+
+def sketch_fingerprint(
+    graph_fp: str,
+    model: str,
+    epsilon: float,
+    seed: int,
+    num_sets: int,
+) -> str:
+    """Content key of one sketch: graph hash + model + epsilon + seed + size."""
+    key = f"{graph_fp}:{str(model).upper()}:{float(epsilon):.12g}:{int(seed)}:{int(num_sets)}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------- internals
+def _payload_checksum(arrays: dict[str, np.ndarray]) -> int:
+    """CRC-32 over the payload arrays in sorted-key order."""
+    crc = 0
+    for key in sorted(arrays):
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _flat_arrays(store: FlatRRRStore, prefix: str = "") -> dict[str, np.ndarray]:
+    return {
+        f"{prefix}offsets": store.offsets,
+        f"{prefix}vertices": store.vertices,
+    }
+
+
+def _store_payload(store) -> tuple[str, dict[str, np.ndarray], dict[str, Any]]:
+    """(kind, payload arrays, json-able meta) for any supported store."""
+    if isinstance(store, FlatRRRStore):
+        return "flat", _flat_arrays(store), {"sort_sets": store.sort_sets}
+    if isinstance(store, PartitionedRRRStore):
+        arrays: dict[str, np.ndarray] = {}
+        for w, part in enumerate(store.parts):
+            arrays.update(_flat_arrays(part, prefix=f"part{w}_"))
+        return (
+            "partitioned",
+            arrays,
+            {"sort_sets": store.sort_sets, "num_workers": store.num_workers},
+        )
+    if isinstance(store, AdaptiveRRRStore):
+        # Adaptive sets are persisted in the flat layout (each set's sorted
+        # vertices); the policy/budget metadata rebuilds the per-set
+        # representations on load.
+        flat = store.to_flat(sort_sets=True)
+        meta: dict[str, Any] = {
+            "policy_bitmap_fraction": (
+                store.policy.bitmap_fraction if store.policy is not None else None
+            ),
+            "budget_bytes": store.budget_bytes,
+        }
+        return "adaptive", _flat_arrays(flat), meta
+    raise ArtifactError(f"cannot serialise store type {type(store).__name__}")
+
+
+def save_store(
+    store,
+    path: str | os.PathLike,
+    *,
+    fingerprint: str = "",
+    counter: np.ndarray | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Persist any RRR store (plus optional fused counter) as a checksummed
+    ``.npz`` artifact; returns the written path.
+
+    ``fingerprint`` and ``meta`` are stored verbatim and verified/exposed by
+    :func:`load_store`; ``counter`` is the fused occurrence counter so a warm
+    load can feed ``efficient_select(initial_counter=...)`` directly.
+    """
+    kind, arrays, store_meta = _store_payload(store)
+    if counter is not None:
+        arrays = {**arrays, "counter": np.ascontiguousarray(counter, dtype=np.int64)}
+    doc = {
+        "schema_version": SKETCH_SCHEMA_VERSION,
+        "kind": kind,
+        "fingerprint": fingerprint,
+        "num_vertices": int(store.num_vertices),
+        "store_meta": store_meta,
+        "meta": dict(meta or {}),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(doc, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        checksum=np.uint32(_payload_checksum(arrays)),
+        **arrays,
+    )
+    return path
+
+
+def _rebuild_flat(
+    num_vertices: int, arrays: dict[str, np.ndarray], prefix: str, sort_sets: bool
+) -> FlatRRRStore:
+    try:
+        offsets = arrays[f"{prefix}offsets"]
+        vertices = arrays[f"{prefix}vertices"]
+    except KeyError as exc:
+        raise ArtifactError(f"sketch artifact is missing array {exc}") from exc
+    return FlatRRRStore.from_arrays(
+        num_vertices, offsets, vertices, sort_sets=sort_sets
+    )
+
+
+def load_store(
+    path: str | os.PathLike,
+    *,
+    expect_fingerprint: str | None = None,
+):
+    """Load an artifact written by :func:`save_store`.
+
+    Returns ``(store, counter, meta)`` where ``counter`` is ``None`` when the
+    artifact was saved without one.  Raises :class:`ArtifactError` on a
+    missing file, unknown schema, checksum mismatch, or (when
+    ``expect_fingerprint`` is given) a fingerprint mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"{path}: sketch artifact not found")
+    try:
+        with np.load(path) as data:
+            files = set(data.files)
+            if "header" not in files or "checksum" not in files:
+                raise ArtifactError(f"{path}: not a repro sketch artifact")
+            try:
+                doc = json.loads(bytes(data["header"]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ArtifactError(f"{path}: corrupt artifact header") from exc
+            arrays = {
+                k: data[k] for k in files if k not in ("header", "checksum")
+            }
+            stored_crc = int(data["checksum"])
+    except (zlib.error, zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise ArtifactError(f"{path}: corrupt artifact archive ({exc})") from exc
+
+    if doc.get("schema_version") != SKETCH_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"{path}: unsupported sketch schema version {doc.get('schema_version')!r}"
+        )
+    actual_crc = _payload_checksum(arrays)
+    if actual_crc != stored_crc:
+        raise ArtifactError(
+            f"{path}: checksum mismatch (stored {stored_crc:#010x}, computed "
+            f"{actual_crc:#010x}); the artifact is corrupt"
+        )
+    if expect_fingerprint is not None and doc.get("fingerprint") != expect_fingerprint:
+        raise ArtifactError(
+            f"{path}: fingerprint mismatch (artifact "
+            f"{doc.get('fingerprint')!r}, expected {expect_fingerprint!r})"
+        )
+
+    counter = arrays.pop("counter", None)
+    if counter is not None:
+        counter = counter.astype(np.int64, copy=False)
+    n = int(doc["num_vertices"])
+    kind = doc.get("kind")
+    store_meta = doc.get("store_meta", {})
+    if kind == "flat":
+        store = _rebuild_flat(n, arrays, "", bool(store_meta.get("sort_sets")))
+    elif kind == "partitioned":
+        num_workers = int(store_meta["num_workers"])
+        store = PartitionedRRRStore(
+            n, num_workers, sort_sets=bool(store_meta.get("sort_sets"))
+        )
+        store.parts = [
+            _rebuild_flat(n, arrays, f"part{w}_", bool(store_meta.get("sort_sets")))
+            for w in range(num_workers)
+        ]
+    elif kind == "adaptive":
+        frac = store_meta.get("policy_bitmap_fraction")
+        policy = AdaptivePolicy(frac) if frac is not None else None
+        store = AdaptiveRRRStore(n, policy=policy, budget_bytes=None)
+        flat = _rebuild_flat(n, arrays, "", sort_sets=True)
+        for s in flat:
+            store.append(s)
+        # Restore the budget only after re-appending: the saved contents by
+        # construction fit it, so reloading must not re-raise OOM.
+        store.budget_bytes = store_meta.get("budget_bytes")
+    else:
+        raise ArtifactError(f"{path}: unknown store kind {kind!r}")
+    return store, counter, doc.get("meta", {})
+
+
+class ArtifactStore:
+    """A directory of fingerprint-keyed graph and sketch artifacts.
+
+    Layout: ``<root>/graph-<gfp>.npz`` (CSR arrays, written through
+    :func:`repro.graph.io.save_npz`) and ``<root>/sketch-<fp>.npz``
+    (:func:`save_store` payloads).  All loads are integrity-checked; the
+    engine treats :class:`ArtifactError` as a cache miss and falls back to
+    cold sampling.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+    def sketch_path(self, fingerprint: str) -> Path:
+        return self.root / f"sketch-{fingerprint}.npz"
+
+    def graph_path(self, graph_fp: str) -> Path:
+        return self.root / f"graph-{graph_fp}.npz"
+
+    def has_sketch(self, fingerprint: str) -> bool:
+        return self.sketch_path(fingerprint).exists()
+
+    def list_sketches(self) -> list[str]:
+        """Fingerprints of every sketch artifact present, sorted."""
+        return sorted(
+            p.stem.removeprefix("sketch-")
+            for p in self.root.glob("sketch-*.npz")
+        )
+
+    # ----------------------------------------------------------------- graphs
+    def save_graph(self, graph: CSRGraph) -> str:
+        """Persist a graph under its own fingerprint; returns the fingerprint."""
+        gfp = graph_fingerprint(graph)
+        path = self.graph_path(gfp)
+        if not path.exists():
+            save_npz(graph, path)
+        return gfp
+
+    def load_graph(self, graph_fp: str) -> CSRGraph:
+        path = self.graph_path(graph_fp)
+        if not path.exists():
+            raise ArtifactError(f"{path}: graph artifact not found")
+        return load_npz(path)
+
+    # ---------------------------------------------------------------- sketches
+    def save_sketch(
+        self,
+        fingerprint: str,
+        store,
+        *,
+        counter: np.ndarray | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        return save_store(
+            store,
+            self.sketch_path(fingerprint),
+            fingerprint=fingerprint,
+            counter=counter,
+            meta=meta,
+        )
+
+    def load_sketch(self, fingerprint: str):
+        """(store, counter, meta) for a fingerprint; :class:`ArtifactError`
+        when absent or corrupt."""
+        return load_store(
+            self.sketch_path(fingerprint), expect_fingerprint=fingerprint
+        )

@@ -1,0 +1,440 @@
+"""The query engine: batched, cached, deadline-aware IM query serving.
+
+One :class:`QueryEngine` owns the three warm layers a query can hit, in
+order of decreasing speed:
+
+1. the in-memory :class:`~repro.service.cache.SketchCache` (LRU, byte
+   budget) — a hit skips graph loading *and* sampling;
+2. the on-disk :class:`~repro.service.artifacts.ArtifactStore` — an
+   integrity-checked load skips sampling (and survives process restarts);
+3. cold sampling through :func:`repro.core.parallel_sampling.parallel_generate`
+   on the existing :mod:`repro.runtime.backends` work-queue machinery.
+
+Queries submitted together are grouped by sketch fingerprint; each group is
+served by **one** selection pass at ``k_max`` — greedy selection is
+prefix-consistent (round ``i`` never depends on later rounds), so the
+``k``-seed answer for every query in the group is the first ``k`` seeds of
+that single pass, with its coverage read off the per-round accounting.
+
+Per-query deadlines are enforced at every stage boundary: an expired query
+is answered with a ``"timeout"`` response (a reported ``TimeoutError``,
+never a hang) while the rest of its batch proceeds.
+
+Telemetry (``service.*``, docs/observability.md): cache hits/misses/
+evictions, batch sizes, queue wait, cold-sample and artifact counters, and
+a query-latency histogram whose ``percentile(0.95)`` is the serving p95.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.parallel_sampling import parallel_generate
+from repro.core.selection import efficient_select
+from repro.errors import ArtifactError, ParameterError, ReproError
+from repro.graph.datasets import load_dataset
+from repro.graph.io import graph_fingerprint
+from repro.runtime.backends import SerialBackend
+from repro.service.artifacts import ArtifactStore, sketch_fingerprint
+from repro.service.cache import CacheEntry, SketchCache
+from repro.service.protocol import IMQuery, IMResponse
+
+__all__ = ["EngineConfig", "QueryEngine", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of one :class:`QueryEngine`.
+
+    ``backend="serial"`` samples in-process through a shared
+    :class:`~repro.runtime.backends.SerialBackend`; ``"multiprocess"``
+    lets each cold sampling pass fork its own pool of ``num_workers``
+    (the pool must be initialised per graph, so it cannot be shared).
+    Note the sampled sets are deterministic in ``(seed, num_workers)``,
+    so changing ``num_workers`` changes which (equally valid) sketch a
+    fingerprint materialises to.
+    """
+
+    cache_budget_bytes: int | None = 256 * 1024 * 1024
+    artifact_dir: str | Path | None = None
+    default_theta: int = 2000
+    backend: str = "serial"
+    num_workers: int = 1
+    dataset_scale: float = 1.0
+    persist: bool = True  # write artifacts for newly sampled sketches
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative engine behaviour (plain counters, telemetry-independent)."""
+
+    queries: int = 0
+    ok: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    batches: int = 0
+    cold_samples: int = 0
+    artifact_loads: int = 0
+    artifact_saves: int = 0
+    artifact_corrupt: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries, "ok": self.ok,
+            "timeouts": self.timeouts, "errors": self.errors,
+            "batches": self.batches, "cold_samples": self.cold_samples,
+            "artifact_loads": self.artifact_loads,
+            "artifact_saves": self.artifact_saves,
+            "artifact_corrupt": self.artifact_corrupt,
+        }
+
+
+@dataclass
+class _Pending:
+    """One in-flight query with its submission bookkeeping."""
+
+    index: int
+    query: IMQuery
+    submitted_at: float
+
+    def deadline(self) -> float | None:
+        if self.query.deadline_s is None:
+            return None
+        return self.submitted_at + self.query.deadline_s
+
+
+class QueryEngine:
+    """Serves :class:`IMQuery` batches from cached sketches.
+
+    Process-local and single-threaded by design (the CLI loop drives it);
+    cold sampling parallelism comes from the runtime backend underneath.
+    """
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self.cache = SketchCache(self.config.cache_budget_bytes)
+        self.artifacts = (
+            ArtifactStore(self.config.artifact_dir)
+            if self.config.artifact_dir is not None
+            else None
+        )
+        if self.config.backend not in ("serial", "multiprocess"):
+            raise ParameterError(
+                f"unknown engine backend {self.config.backend!r}"
+            )
+        # A shared serial backend is reused across cold passes; the
+        # multiprocess path hands backend=None to parallel_generate, which
+        # builds a properly initialised fork pool per (graph, pass).
+        self._backend = (
+            SerialBackend() if self.config.backend == "serial" else None
+        )
+        self._graphs: dict[tuple, Any] = {}
+        self._graph_fps: dict[tuple, str] = {}
+        self.stats = ServiceStats()
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- public
+    def query(self, query: IMQuery) -> IMResponse:
+        """Serve a single query (a one-element :meth:`execute` batch)."""
+        return self.execute([query])[0]
+
+    def execute(self, queries: Sequence[IMQuery]) -> list[IMResponse]:
+        """Serve a batch; responses come back in submission order.
+
+        Never raises for a per-query failure — bad parameters, expired
+        deadlines, and unknown datasets become ``"error"``/``"timeout"``
+        responses so one poisoned query cannot take down its batch.
+        """
+        submitted_at = time.monotonic()
+        responses: list[IMResponse | None] = [None] * len(queries)
+        groups: dict[tuple, list[_Pending]] = {}
+        for i, q in enumerate(queries):
+            try:
+                q.validate()
+            except ParameterError as exc:
+                responses[i] = self._finish_error(q, exc, submitted_at)
+                continue
+            groups.setdefault(q.batch_key(), []).append(
+                _Pending(i, q, submitted_at)
+            )
+
+        for key, pending in groups.items():
+            for p, resp in self._serve_group(key, pending):
+                responses[p.index] = resp
+
+        self._project_stats()
+        # Every query index is answered exactly once: invalid queries above,
+        # everything else by its group.
+        return [
+            r if r is not None
+            else IMResponse(status="error", error="internal: query dropped")
+            for r in responses
+        ]
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Engine + cache counters as one JSON-able dict (the `stats` op)."""
+        return {"service": self.stats.to_dict(), "cache": self.cache.stats.to_dict()}
+
+    # --------------------------------------------------------------- internals
+    def _tel_inc(self, name: str, amount: float = 1) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter(name).inc(amount)
+
+    def _finish_error(
+        self, query: IMQuery, exc: Exception, submitted_at: float
+    ) -> IMResponse:
+        self.stats.queries += 1
+        self.stats.errors += 1
+        self._tel_inc("service.queries")
+        self._tel_inc("service.errors")
+        return IMResponse(
+            status="error",
+            id=query.id,
+            error=f"{type(exc).__name__}: {exc}",
+            latency_s=time.monotonic() - submitted_at,
+        )
+
+    def _finish_timeout(self, p: _Pending) -> IMResponse:
+        self.stats.queries += 1
+        self.stats.timeouts += 1
+        self._tel_inc("service.queries")
+        self._tel_inc("service.timeouts")
+        return IMResponse(
+            status="timeout",
+            id=p.query.id,
+            error=(
+                f"TimeoutError: deadline of {p.query.deadline_s}s exceeded "
+                f"after {time.monotonic() - p.submitted_at:.3f}s"
+            ),
+            latency_s=time.monotonic() - p.submitted_at,
+        )
+
+    def _finish_ok(
+        self,
+        p: _Pending,
+        seeds: np.ndarray,
+        coverage: float,
+        num_vertices: int,
+        num_sets: int,
+        cached: bool,
+    ) -> IMResponse:
+        latency = time.monotonic() - p.submitted_at
+        self.stats.queries += 1
+        self.stats.ok += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("service.queries").inc()
+            tel.registry.histogram("service.query_latency_s").observe(latency)
+        return IMResponse(
+            status="ok",
+            id=p.query.id,
+            seeds=[int(v) for v in seeds],
+            spread_estimate=num_vertices * coverage,
+            coverage_fraction=coverage,
+            num_rrrsets=num_sets,
+            cached=cached,
+            latency_s=latency,
+        )
+
+    def _expired(self, p: _Pending) -> bool:
+        deadline = p.deadline()
+        return deadline is not None and time.monotonic() > deadline
+
+    def _split_expired(
+        self, pending: list[_Pending], out: list
+    ) -> list[_Pending]:
+        """Move expired queries into timeout responses; return the live rest."""
+        live: list[_Pending] = []
+        for p in pending:
+            if self._expired(p):
+                out.append((p, self._finish_timeout(p)))
+            else:
+                live.append(p)
+        return live
+
+    def _resolve_graph(self, query: IMQuery) -> tuple[Any, str]:
+        """(graph, graph fingerprint) for a query, memoised per engine."""
+        key = (query.dataset.lower(), str(query.model).upper(), int(query.seed))
+        graph = self._graphs.get(key)
+        if graph is None:
+            tel = telemetry.get()
+            with tel.span("service.graph_load", dataset=key[0], model=key[1]):
+                graph = load_dataset(
+                    key[0], model=key[1], seed=key[2],
+                    scale=self.config.dataset_scale,
+                )
+            self._graphs[key] = graph
+            self._graph_fps[key] = graph_fingerprint(graph)
+        return graph, self._graph_fps[key]
+
+    def _serve_group(
+        self, key: tuple, pending: list[_Pending]
+    ) -> list[tuple[_Pending, IMResponse]]:
+        """Serve one fingerprint-group; returns (pending, response) pairs."""
+        tel = telemetry.get()
+        out: list[tuple[_Pending, IMResponse]] = []
+        self.stats.batches += 1
+        if tel.enabled:
+            tel.registry.counter("service.batches").inc()
+            tel.registry.histogram("service.batch_size").observe(len(pending))
+            wait = time.monotonic() - pending[0].submitted_at
+            tel.registry.histogram("service.queue_wait_s").observe(wait)
+
+        pending = self._split_expired(pending, out)
+        if not pending:
+            return out
+
+        q0 = pending[0].query
+        try:
+            graph, graph_fp = self._resolve_graph(q0)
+        except ReproError as exc:
+            for p in pending:
+                out.append((p, self._finish_error(p.query, exc, p.submitted_at)))
+            return out
+
+        # k is validated against the vertex count only now that we know it.
+        live: list[_Pending] = []
+        for p in pending:
+            if p.query.k > graph.num_vertices:
+                exc = ParameterError(
+                    f"k={p.query.k} exceeds the vertex count {graph.num_vertices}"
+                )
+                out.append((p, self._finish_error(p.query, exc, p.submitted_at)))
+            else:
+                live.append(p)
+        if not live:
+            return out
+
+        num_sets = q0.theta_cap or self.config.default_theta
+        fp = sketch_fingerprint(
+            graph_fp, q0.model, q0.epsilon, q0.seed, num_sets
+        )
+        with tel.span("service.batch", fingerprint=fp, size=len(live)):
+            entry, cached = self._acquire_sketch(fp, graph, q0, num_sets)
+
+            live = self._split_expired(live, out)
+            if not live:
+                return out
+
+            k_max = max(p.query.k for p in live)
+            with tel.span("service.selection", k=k_max, num_sets=len(entry.store)):
+                selection = efficient_select(
+                    entry.store, k_max, 1, initial_counter=entry.counter
+                )
+            covered = np.cumsum(
+                [r["new_covered_sets"] for r in selection.rounds]
+            )
+            num_store_sets = len(entry.store)
+
+        for p in live:
+            if self._expired(p):
+                out.append((p, self._finish_timeout(p)))
+                continue
+            k = p.query.k
+            coverage = float(covered[k - 1]) / num_store_sets if num_store_sets else 0.0
+            out.append(
+                (
+                    p,
+                    self._finish_ok(
+                        p, selection.seeds[:k], coverage,
+                        graph.num_vertices, num_store_sets, cached,
+                    ),
+                )
+            )
+        return out
+
+    def _acquire_sketch(
+        self, fp: str, graph, query: IMQuery, num_sets: int
+    ) -> tuple[CacheEntry, bool]:
+        """Memory cache -> artifact -> cold sampling; returns (entry, warm)."""
+        tel = telemetry.get()
+        entry = self.cache.get(fp)
+        if entry is not None:
+            self._tel_inc("service.cache.hits")
+            return entry, True
+        self._tel_inc("service.cache.misses")
+
+        if self.artifacts is not None and self.artifacts.has_sketch(fp):
+            try:
+                with tel.span("service.artifact_load", fingerprint=fp):
+                    store, counter, meta = self.artifacts.load_sketch(fp)
+                if counter is None:
+                    counter = store.vertex_counts()
+                entry = CacheEntry(store=store, counter=counter, meta=meta)
+                self.stats.artifact_loads += 1
+                self._tel_inc("service.artifacts.loads")
+                self.cache.put(fp, entry)
+                self._sync_cache_telemetry()
+                return entry, True
+            except ArtifactError:
+                # Corrupt artifact: report, fall back to cold sampling.
+                self.stats.artifact_corrupt += 1
+                self._tel_inc("service.artifacts.corrupt")
+
+        # Cold path: sample on the runtime backend work queue.
+        store = parallel_generate(
+            graph,
+            str(query.model).upper(),
+            num_sets,
+            num_workers=self.config.num_workers,
+            seed=int(query.seed),
+            backend=self._backend,
+        )
+        store.trim()
+        counter = store.vertex_counts()
+        entry = CacheEntry(
+            store=store,
+            counter=counter,
+            meta={
+                "dataset": query.dataset, "model": str(query.model).upper(),
+                "epsilon": float(query.epsilon), "seed": int(query.seed),
+                "num_sets": num_sets, "num_workers": self.config.num_workers,
+            },
+        )
+        self.stats.cold_samples += 1
+        self._tel_inc("service.cold_samples")
+        if self.artifacts is not None and self.config.persist:
+            self.artifacts.save_sketch(
+                fp, store, counter=counter, meta=entry.meta
+            )
+            self.stats.artifact_saves += 1
+            self._tel_inc("service.artifacts.saves")
+        self.cache.put(fp, entry)
+        self._sync_cache_telemetry()
+        return entry, False
+
+    def _sync_cache_telemetry(self) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            st = self.cache.stats
+            reg = tel.registry
+            # Evictions/rejections are maintained by the cache itself, so
+            # mirror the cumulative values as gauges (idempotent).
+            reg.gauge("service.cache.bytes").set(st.bytes)
+            reg.gauge("service.cache.entries").set(st.entries)
+            reg.gauge("service.cache.evictions").set(st.evictions)
+            reg.gauge("service.cache.rejected").set(st.rejected)
+
+    def _project_stats(self) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            telemetry.record_service_stats(
+                tel.registry, self.stats, self.cache.stats
+            )

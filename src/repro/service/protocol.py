@@ -1,0 +1,187 @@
+"""Query/response records and the JSON-lines wire protocol of `repro serve`.
+
+A client submits :class:`IMQuery` records — "give me the top-``k`` seeds on
+``dataset`` under ``model`` at quality ``epsilon``" — and receives
+:class:`IMResponse` records.  Queries that agree on everything except ``k``
+share a *batch key*: the engine answers all of them from one sketch and one
+incremental greedy selection pass (greedy seed sets are prefix-consistent,
+so the first ``k`` seeds of a ``k_max`` selection are exactly the ``k``-seed
+answer).
+
+Wire format (one JSON document per line, both directions)::
+
+    {"dataset": "amazon", "model": "IC", "k": 10, "epsilon": 0.5}
+    {"queries": [{...}, {...}]}          # explicit batch
+    {"op": "stats"}                      # server statistics snapshot
+
+Responses mirror the query ``id`` (when given) and carry ``status`` of
+``"ok"``, ``"timeout"`` (the per-query deadline expired — reported, never a
+hang), or ``"error"`` (typically a :class:`~repro.errors.ParameterError`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ParameterError
+
+__all__ = ["IMQuery", "IMResponse", "parse_request_line"]
+
+
+@dataclass(frozen=True)
+class IMQuery:
+    """One influence-maximisation request.
+
+    Attributes
+    ----------
+    dataset:
+        Replica dataset name (see ``repro datasets``).
+    model:
+        Diffusion model, ``"IC"`` or ``"LT"``.
+    k:
+        Seed-set budget.
+    epsilon:
+        IMM approximation quality; part of the sketch fingerprint.
+    seed:
+        Sampling RNG seed; part of the sketch fingerprint.
+    theta_cap:
+        Number of RRR sets the serving sketch holds; ``None`` uses the
+        engine's ``default_theta``.  Part of the sketch fingerprint.
+    deadline_s:
+        Per-query time budget in seconds, measured from submission; an
+        expired deadline yields a ``"timeout"`` response instead of a hang.
+    id:
+        Opaque client correlation id, echoed in the response.
+    """
+
+    dataset: str
+    model: str = "IC"
+    k: int = 10
+    epsilon: float = 0.5
+    seed: int = 0
+    theta_cap: int | None = None
+    deadline_s: float | None = None
+    id: str | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ParameterError` on out-of-domain fields.
+
+        Mirrors :class:`~repro.core.params.IMMParams` validation so a bad
+        query fails before any graph or sketch work happens.  ``k`` against
+        the vertex count is checked later, once the graph is resolved.
+        """
+        if not self.dataset or not isinstance(self.dataset, str):
+            raise ParameterError(f"dataset must be a non-empty string, got {self.dataset!r}")
+        if str(self.model).upper() not in ("IC", "LT"):
+            raise ParameterError(f"model must be 'IC' or 'LT', got {self.model!r}")
+        if not isinstance(self.k, int) or self.k < 1:
+            raise ParameterError(f"k must be a positive integer, got {self.k!r}")
+        if not 0.0 < float(self.epsilon) < 1.0:
+            raise ParameterError(f"epsilon must lie in (0, 1), got {self.epsilon!r}")
+        if self.theta_cap is not None and self.theta_cap < 1:
+            raise ParameterError(f"theta_cap must be >= 1, got {self.theta_cap}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ParameterError(f"deadline_s must be >= 0, got {self.deadline_s}")
+
+    def batch_key(self) -> tuple:
+        """Queries with equal batch keys are served from one sketch —
+        everything that determines the sketch, i.e. all fields but ``k``,
+        ``deadline_s``, and ``id``."""
+        return (
+            self.dataset.lower(),
+            str(self.model).upper(),
+            float(self.epsilon),
+            int(self.seed),
+            self.theta_cap,
+        )
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "IMQuery":
+        """Build a query from a decoded JSON object (unknown keys rejected)."""
+        if not isinstance(doc, dict):
+            raise ParameterError(f"query must be a JSON object, got {type(doc).__name__}")
+        unknown = set(doc) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ParameterError(f"unknown query field(s): {', '.join(sorted(unknown))}")
+        if "dataset" not in doc:
+            raise ParameterError("query is missing the required 'dataset' field")
+        q = cls(**doc)
+        q.validate()
+        return q
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "dataset": self.dataset, "model": self.model, "k": self.k,
+            "epsilon": self.epsilon, "seed": self.seed,
+        }
+        if self.theta_cap is not None:
+            doc["theta_cap"] = self.theta_cap
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.id is not None:
+            doc["id"] = self.id
+        return doc
+
+
+@dataclass
+class IMResponse:
+    """The answer (or failure report) to one :class:`IMQuery`."""
+
+    status: str  # "ok" | "timeout" | "error"
+    id: str | None = None
+    seeds: list[int] = field(default_factory=list)
+    spread_estimate: float = 0.0
+    coverage_fraction: float = 0.0
+    num_rrrsets: int = 0
+    cached: bool = False
+    latency_s: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"status": self.status}
+        if self.id is not None:
+            doc["id"] = self.id
+        if self.status == "ok":
+            doc.update(
+                seeds=self.seeds,
+                spread_estimate=self.spread_estimate,
+                coverage_fraction=self.coverage_fraction,
+                num_rrrsets=self.num_rrrsets,
+                cached=self.cached,
+            )
+        else:
+            doc["error"] = self.error
+        doc["latency_s"] = self.latency_s
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=float)
+
+
+def parse_request_line(line: str) -> list[IMQuery] | dict[str, Any]:
+    """Decode one wire line into a query batch or a control operation.
+
+    Returns a list of :class:`IMQuery` for query lines (a bare object, a
+    JSON array, or ``{"queries": [...]}``), or the raw dict for control
+    lines carrying an ``"op"`` key (e.g. ``{"op": "stats"}``).  Raises
+    :class:`ParameterError` on malformed input.
+    """
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"bad JSON request: {exc}") from exc
+    if isinstance(doc, dict) and "op" in doc:
+        return doc
+    if isinstance(doc, dict) and "queries" in doc:
+        doc = doc["queries"]
+    if isinstance(doc, dict):
+        doc = [doc]
+    if not isinstance(doc, list) or not doc:
+        raise ParameterError("request must be a query object or a non-empty array")
+    return [IMQuery.from_dict(d) for d in doc]

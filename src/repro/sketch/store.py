@@ -79,6 +79,38 @@ class FlatRRRStore:
         for s in sets:
             self.append(s)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        offsets: np.ndarray,
+        vertices: np.ndarray,
+        *,
+        sort_sets: bool = False,
+    ) -> "FlatRRRStore":
+        """Rebuild a store directly from its flat arrays (deserialisation).
+
+        The arrays are adopted as-is — sets are **not** re-sorted, so a
+        store saved with ``sort_sets=True`` round-trips bit-for-bit.
+        """
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        vertices = np.ascontiguousarray(vertices, dtype=np.int32)
+        if offsets.size < 1 or offsets[0] != 0:
+            raise ParameterError("offsets must start with 0")
+        if np.any(np.diff(offsets) < 0):
+            raise ParameterError("offsets must be non-decreasing")
+        if offsets[-1] != vertices.size:
+            raise ParameterError(
+                f"offsets end at {int(offsets[-1])} but there are "
+                f"{vertices.size} vertices"
+            )
+        store = cls(num_vertices, sort_sets=sort_sets)
+        store._offsets = offsets.copy()
+        store._verts = vertices.copy()
+        store._num_sets = offsets.size - 1
+        store._num_entries = int(vertices.size)
+        return store
+
     # ------------------------------------------------------------ accessors
     def __len__(self) -> int:
         return self._num_sets
@@ -130,6 +162,21 @@ class FlatRRRStore:
     def nbytes(self) -> int:
         """Modelled footprint: the *logical* arrays, not the growth slack."""
         return int(self._num_entries * 4 + (self._num_sets + 1) * 8)
+
+    def capacity_bytes(self) -> int:
+        """Physical footprint of the backing arrays, growth slack included."""
+        return int(self._verts.nbytes + self._offsets.nbytes)
+
+    def trim(self) -> "FlatRRRStore":
+        """Drop the amortised growth slack so the physical footprint equals
+        :meth:`nbytes`.  Call before caching or serialising a store that has
+        stopped growing; appending afterwards re-grows normally.  Returns
+        ``self`` for chaining."""
+        if self._verts.size != self._num_entries:
+            self._verts = self._verts[: self._num_entries].copy()
+        if self._offsets.size != self._num_sets + 1:
+            self._offsets = self._offsets[: self._num_sets + 1].copy()
+        return self
 
     def memory_model_bytes_per_set_entry(self) -> float:
         """Average modelled bytes per stored vertex (for OOM projection)."""
@@ -215,6 +262,7 @@ class PartitionedRRRStore:
             raise ParameterError(f"num_workers must be positive, got {num_workers}")
         self.num_vertices = int(num_vertices)
         self.num_workers = int(num_workers)
+        self.sort_sets = bool(sort_sets)
         self.parts = [
             FlatRRRStore(num_vertices, sort_sets=sort_sets)
             for _ in range(num_workers)
@@ -226,13 +274,41 @@ class PartitionedRRRStore:
     def __len__(self) -> int:
         return sum(len(p) for p in self.parts)
 
+    def get(self, i: int) -> np.ndarray:
+        """Set ``i`` in global (worker-concatenated) order — the same order
+        :meth:`merge` lays the sets out in, so indices stay valid across a
+        gather."""
+        if i < 0:
+            raise IndexError(f"set index {i} out of range [0, {len(self)})")
+        for part in self.parts:
+            if i < len(part):
+                return part.get(i)
+            i -= len(part)
+        raise IndexError(f"set index out of range [0, {len(self)})")
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for part in self.parts:
+            yield from part
+
+    def sizes(self) -> np.ndarray:
+        """Per-set sizes in global order (matches :meth:`get`/:meth:`merge`)."""
+        parts = [p.sizes() for p in self.parts]
+        return (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+
     @property
     def total_entries(self) -> int:
         return sum(p.total_entries for p in self.parts)
 
     def merge(self) -> FlatRRRStore:
-        """Gather all partitions into one store (Ripples' redistribution)."""
-        out = FlatRRRStore(self.num_vertices, sort_sets=False)
+        """Gather all partitions into one store (Ripples' redistribution).
+
+        The merged store preserves this store's ``sort_sets`` flag and the
+        global iteration order, so ``len(merged) == len(self)`` and
+        ``merged.get(i)`` equals ``self.get(i)`` for every ``i``.
+        """
+        out = FlatRRRStore(self.num_vertices, sort_sets=self.sort_sets)
         for part in self.parts:
             for s in part:
                 out.append(s)

@@ -23,6 +23,7 @@ __all__ = [
     "record_kernel_stats",
     "record_access_counts",
     "record_stage_times",
+    "record_service_stats",
 ]
 
 
@@ -55,6 +56,22 @@ def record_access_counts(registry, kernel: str, counts: Any) -> None:
     key = _slug(kernel)
     for field in ("l1_hits", "l1_misses", "l2_hits", "l2_misses"):
         registry.counter(f"cache.{key}.{field}").inc(int(getattr(counts, field)))
+
+
+def record_service_stats(registry, service: Any, cache: Any) -> None:
+    """Project serving-layer stats onto ``service.*`` summary gauges.
+
+    The engine increments the live ``service.*`` *counters* (queries, cache
+    hits/misses, timeouts) at each event; this bridge mirrors the cumulative
+    :class:`~repro.service.engine.ServiceStats` /
+    :class:`~repro.service.cache.CacheStats` records as *gauges*, so a
+    metrics snapshot carries both the event stream and the current totals
+    (idempotent — safe to call after every batch).
+    """
+    for name, value in service.to_dict().items():
+        registry.gauge(f"service.stats.{_slug(name)}").set(float(value))
+    for name, value in cache.to_dict().items():
+        registry.gauge(f"service.cache_stats.{_slug(name)}").set(float(value))
 
 
 def record_stage_times(registry, times: Any) -> None:

@@ -1,0 +1,606 @@
+"""Tests for repro.service: artifacts, cache, protocol, and the query engine.
+
+Covers the serving-layer acceptance criteria: serialization round-trips for
+the CSR graph and all three RRR-store layouts (selection-kernel-equivalent
+after reload), integrity checks on corrupted artifacts, LRU byte-budget
+behaviour, fingerprint batching with prefix-consistent answers, deadline
+timeouts that report instead of hang, and warm queries that skip sampling
+entirely (telemetry-verified).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.selection import efficient_select
+from repro.errors import ArtifactError, GraphFormatError, ParameterError
+from repro.graph.io import graph_checksum, graph_fingerprint, load_npz, save_npz
+from repro.sketch.rrr import AdaptivePolicy
+from repro.sketch.store import AdaptiveRRRStore, FlatRRRStore, PartitionedRRRStore
+from repro.service import (
+    ArtifactStore,
+    CacheEntry,
+    EngineConfig,
+    IMQuery,
+    IMResponse,
+    QueryEngine,
+    SketchCache,
+    load_store,
+    parse_request_line,
+    save_store,
+    sketch_fingerprint,
+)
+
+THETA = 120  # serving sketch size used throughout (small => fast cold path)
+
+
+def _random_sets(n, count, seed=0, max_size=12):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.choice(n, size=rng.integers(1, max_size), replace=False)
+        for _ in range(count)
+    ]
+
+
+def _flat_store(n=40, count=30, seed=0) -> FlatRRRStore:
+    s = FlatRRRStore(n, sort_sets=True)
+    s.extend(_random_sets(n, count, seed))
+    return s
+
+
+def _spans(tel, name):
+    return [s for root in tel.tracer.roots for s in root.find(name)]
+
+
+# --------------------------------------------------------------------- graphs
+class TestGraphArtifacts:
+    def test_npz_roundtrip(self, diamond_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(diamond_graph, path)
+        g2 = load_npz(path)
+        assert np.array_equal(g2.indptr, diamond_graph.indptr)
+        assert np.array_equal(g2.indices, diamond_graph.indices)
+        assert np.array_equal(g2.probs, diamond_graph.probs)
+        assert graph_fingerprint(g2) == graph_fingerprint(diamond_graph)
+
+    def test_checksum_detects_tampering(self, diamond_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(diamond_graph, path)
+        with np.load(path) as data:
+            payload = {k: data[k].copy() for k in data.files}
+        payload["probs"][0] -= 0.125  # still a valid prob; checksum now lies
+        np.savez_compressed(path, **payload)
+        with pytest.raises(GraphFormatError, match="checksum"):
+            load_npz(path)
+
+    def test_fingerprint_tracks_content(self, diamond_graph, line_graph):
+        assert graph_fingerprint(diamond_graph) == graph_fingerprint(diamond_graph)
+        assert graph_fingerprint(diamond_graph) != graph_fingerprint(line_graph)
+        assert graph_checksum(diamond_graph) != graph_checksum(line_graph)
+
+
+# ------------------------------------------------------------- sketch artifacts
+class TestSketchArtifacts:
+    def test_flat_roundtrip_bitwise(self, tmp_path):
+        store = _flat_store()
+        path = save_store(store, tmp_path / "s.npz", fingerprint="abc")
+        loaded, counter, meta = load_store(path, expect_fingerprint="abc")
+        assert counter is None and meta == {}
+        assert isinstance(loaded, FlatRRRStore)
+        assert loaded.sort_sets == store.sort_sets
+        assert np.array_equal(loaded.offsets, store.offsets)
+        assert np.array_equal(loaded.vertices, store.vertices)
+
+    def test_partitioned_roundtrip(self, tmp_path):
+        store = PartitionedRRRStore(40, 3, sort_sets=True)
+        for i, s in enumerate(_random_sets(40, 30, seed=1)):
+            store.append(i % 3, s)
+        path = save_store(store, tmp_path / "p.npz")
+        loaded, _, _ = load_store(path)
+        assert isinstance(loaded, PartitionedRRRStore)
+        assert loaded.num_workers == 3 and len(loaded) == len(store)
+        for a, b in zip(loaded, store):
+            assert np.array_equal(a, b)
+
+    def test_adaptive_roundtrip(self, tmp_path):
+        store = AdaptiveRRRStore(
+            40, policy=AdaptivePolicy(0.25), budget_bytes=1 << 20
+        )
+        for s in _random_sets(40, 30, seed=2):
+            store.append(s)
+        path = save_store(store, tmp_path / "a.npz")
+        loaded, _, _ = load_store(path)
+        assert isinstance(loaded, AdaptiveRRRStore)
+        assert len(loaded) == len(store)
+        assert loaded.policy.bitmap_fraction == 0.25
+        assert loaded.budget_bytes == 1 << 20
+        for a, b in zip(loaded, store):
+            assert np.array_equal(a.vertices(), b.vertices())
+
+    @pytest.mark.parametrize("kind", ["flat", "partitioned", "adaptive"])
+    def test_selection_identical_after_reload(self, tmp_path, kind):
+        sets = _random_sets(60, 50, seed=3)
+        if kind == "flat":
+            store = FlatRRRStore(60, sort_sets=True)
+            store.extend(sets)
+            to_flat = lambda s: s
+        elif kind == "partitioned":
+            store = PartitionedRRRStore(60, 2, sort_sets=True)
+            for i, s in enumerate(sets):
+                store.append(i % 2, s)
+            to_flat = lambda s: s.merge()
+        else:
+            store = AdaptiveRRRStore(60, policy=AdaptivePolicy(0.5))
+            for s in sets:
+                store.append(s)
+            to_flat = lambda s: s.to_flat(sort_sets=True)
+        before = efficient_select(to_flat(store), 5, 1)
+        loaded, _, _ = load_store(save_store(store, tmp_path / "s.npz"))
+        after = efficient_select(to_flat(loaded), 5, 1)
+        assert after.seeds.tolist() == before.seeds.tolist()
+        assert after.coverage_fraction == before.coverage_fraction
+
+    def test_counter_and_meta_roundtrip(self, tmp_path):
+        store = _flat_store()
+        counter = store.vertex_counts()
+        meta = {"dataset": "amazon", "epsilon": 0.5}
+        path = save_store(store, tmp_path / "s.npz", counter=counter, meta=meta)
+        _, counter2, meta2 = load_store(path)
+        assert np.array_equal(counter2, counter)
+        assert meta2 == meta
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = save_store(_flat_store(), tmp_path / "s.npz", fingerprint="right")
+        with pytest.raises(ArtifactError, match="fingerprint mismatch"):
+            load_store(path, expect_fingerprint="wrong")
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            load_store(tmp_path / "nope.npz")
+
+    def test_corrupted_payload_fails_integrity(self, tmp_path):
+        path = save_store(_flat_store(), tmp_path / "s.npz")
+        with np.load(path) as data:
+            payload = {k: data[k].copy() for k in data.files}
+        payload["vertices"][0] ^= 1  # bit-flip one entry, keep stale checksum
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            load_store(path)
+
+    def test_truncated_archive_raises(self, tmp_path):
+        path = save_store(_flat_store(), tmp_path / "s.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactError):
+            load_store(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(4))
+        with pytest.raises(ArtifactError, match="not a repro sketch artifact"):
+            load_store(path)
+
+    def test_sketch_fingerprint_components(self):
+        base = sketch_fingerprint("g", "IC", 0.5, 0, 100)
+        assert base == sketch_fingerprint("g", "ic", 0.5, 0, 100)  # model case
+        assert base != sketch_fingerprint("h", "IC", 0.5, 0, 100)
+        assert base != sketch_fingerprint("g", "LT", 0.5, 0, 100)
+        assert base != sketch_fingerprint("g", "IC", 0.4, 0, 100)
+        assert base != sketch_fingerprint("g", "IC", 0.5, 1, 100)
+        assert base != sketch_fingerprint("g", "IC", 0.5, 0, 101)
+
+    def test_artifact_store_directory(self, tmp_path, diamond_graph):
+        art = ArtifactStore(tmp_path / "arts")
+        gfp = art.save_graph(diamond_graph)
+        g2 = art.load_graph(gfp)
+        assert graph_fingerprint(g2) == gfp
+        store = _flat_store()
+        art.save_sketch("f00d", store)
+        assert art.has_sketch("f00d") and not art.has_sketch("beef")
+        assert art.list_sketches() == ["f00d"]
+        loaded, _, _ = art.load_sketch("f00d")
+        assert np.array_equal(loaded.vertices, store.vertices)
+
+
+# ---------------------------------------------------------------------- cache
+def _entry(n=40, count=20, seed=0) -> CacheEntry:
+    store = _flat_store(n, count, seed).trim()
+    return CacheEntry(store=store, counter=store.vertex_counts())
+
+
+class TestSketchCache:
+    def test_hit_miss_counting(self):
+        cache = SketchCache(None)
+        assert cache.get("a") is None
+        e = _entry()
+        assert cache.put("a", e)
+        assert cache.get("a") is e
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        e = _entry()
+        cache = SketchCache(e.nbytes() * 2)
+        cache.put("a", _entry(seed=1))
+        cache.put("b", _entry(seed=2))
+        cache.get("a")  # refresh a => b is now LRU
+        cache.put("c", _entry(seed=3))
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_accounting(self):
+        cache = SketchCache(None)
+        e1, e2 = _entry(seed=1), _entry(seed=2, count=30)
+        cache.put("a", e1)
+        cache.put("b", e2)
+        assert cache.current_bytes() == e1.nbytes() + e2.nbytes()
+        cache.evict("a")
+        assert cache.current_bytes() == e2.nbytes()
+        assert len(cache) == 1
+
+    def test_oversized_entry_rejected_not_raised(self):
+        cache = SketchCache(8)  # smaller than any real entry
+        assert cache.put("a", _entry()) is False
+        assert cache.stats.rejected == 1 and len(cache) == 0
+
+    def test_refresh_same_key_no_double_charge(self):
+        cache = SketchCache(None)
+        e1, e2 = _entry(seed=1), _entry(seed=2)
+        cache.put("a", e1)
+        cache.put("a", e2)
+        assert cache.current_bytes() == e2.nbytes()
+        assert len(cache) == 1
+
+    def test_evicted_entry_still_usable_by_holder(self):
+        e = _entry()
+        cache = SketchCache(e.nbytes())
+        cache.put("a", e)
+        held = cache.get("a")
+        cache.put("b", _entry(seed=9))  # evicts "a"
+        assert "a" not in cache
+        # The caller's reference is untouched by eviction.
+        sel = efficient_select(held.store, 3, 1, initial_counter=held.counter)
+        assert len(sel.seeds) == 3
+
+
+# ------------------------------------------------------------------- protocol
+class TestProtocol:
+    def test_from_dict_and_back(self):
+        q = IMQuery.from_dict(
+            {"dataset": "amazon", "k": 3, "epsilon": 0.4, "id": "q1"}
+        )
+        assert q.k == 3 and q.id == "q1" and q.model == "IC"
+        assert q.to_dict()["dataset"] == "amazon"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ParameterError, match="unknown query field"):
+            IMQuery.from_dict({"dataset": "amazon", "qqq": 1})
+
+    def test_missing_dataset_rejected(self):
+        with pytest.raises(ParameterError, match="dataset"):
+            IMQuery.from_dict({"k": 3})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"k": 0},
+            {"k": "ten"},
+            {"epsilon": 0.0},
+            {"epsilon": 7.0},
+            {"model": "SIR"},
+            {"theta_cap": 0},
+            {"deadline_s": -1.0},
+        ],
+    )
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            IMQuery(dataset="amazon", **bad).validate()
+
+    def test_batch_key_groups_on_sketch_identity(self):
+        a = IMQuery(dataset="Amazon", k=5)
+        b = IMQuery(dataset="amazon", k=50, deadline_s=1.0, id="x")
+        c = IMQuery(dataset="amazon", k=5, epsilon=0.3)
+        assert a.batch_key() == b.batch_key()
+        assert a.batch_key() != c.batch_key()
+
+    def test_parse_request_line_shapes(self):
+        single = parse_request_line('{"dataset": "amazon"}')
+        assert [q.dataset for q in single] == ["amazon"]
+        batch = parse_request_line(
+            '{"queries": [{"dataset": "amazon"}, {"dataset": "dblp", "k": 2}]}'
+        )
+        assert [q.dataset for q in batch] == ["amazon", "dblp"]
+        arr = parse_request_line('[{"dataset": "amazon"}]')
+        assert len(arr) == 1
+        op = parse_request_line('{"op": "stats"}')
+        assert op == {"op": "stats"}
+
+    @pytest.mark.parametrize("line", ["not json", "[]", "42", '"hi"'])
+    def test_parse_request_line_rejects(self, line):
+        with pytest.raises(ParameterError):
+            parse_request_line(line)
+
+    def test_response_to_dict_ok_vs_error(self):
+        ok = IMResponse(status="ok", seeds=[1, 2], num_rrrsets=10, cached=True)
+        doc = ok.to_dict()
+        assert doc["seeds"] == [1, 2] and doc["cached"] is True
+        err = IMResponse(status="error", error="boom", id="q")
+        doc = err.to_dict()
+        assert doc["error"] == "boom" and "seeds" not in doc
+        json.loads(err.to_json())  # serialisable
+
+
+# --------------------------------------------------------------------- engine
+@pytest.fixture(scope="module")
+def engine():
+    with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+        yield eng
+
+
+def _q(dataset="amazon", **kw) -> IMQuery:
+    kw.setdefault("theta_cap", THETA)
+    return IMQuery(dataset=dataset, **kw)
+
+
+class TestQueryEngine:
+    def test_cold_then_warm_prefix_consistent(self, engine):
+        cold = engine.query(_q(k=5))
+        assert cold.ok and not cold.cached
+        assert len(cold.seeds) == 5 and engine.stats.cold_samples == 1
+        assert cold.num_rrrsets == THETA
+        warm = engine.query(_q(k=9))
+        assert warm.ok and warm.cached
+        assert engine.stats.cold_samples == 1  # no resampling
+        assert warm.seeds[:5] == cold.seeds  # greedy prefix consistency
+        assert warm.coverage_fraction >= cold.coverage_fraction
+
+    def test_batch_one_pass_many_k(self, engine):
+        before = engine.stats.batches
+        qs = [_q(k=k, id=f"k{k}") for k in (2, 7, 4)]
+        rs = engine.execute(qs)
+        assert engine.stats.batches == before + 1
+        assert [r.id for r in rs] == ["k2", "k7", "k4"]  # submission order
+        assert all(r.ok for r in rs)
+        assert rs[1].seeds[:2] == rs[0].seeds
+        assert rs[1].seeds[:4] == rs[2].seeds
+        cov = {r.id: r.coverage_fraction for r in rs}
+        assert cov["k2"] <= cov["k4"] <= cov["k7"]
+
+    def test_spread_estimate_scales_coverage(self, engine):
+        r = engine.query(_q(k=3))
+        assert r.spread_estimate == pytest.approx(
+            r.coverage_fraction * engine._graphs[("amazon", "IC", 0)].num_vertices
+        )
+
+    def test_expired_deadline_times_out_not_hangs(self, engine):
+        r = engine.query(_q(k=5, deadline_s=0.0))
+        assert r.status == "timeout" and not r.ok
+        assert "TimeoutError" in r.error
+        assert engine.stats.timeouts >= 1
+        assert engine.query(_q(k=5)).ok  # engine unaffected
+
+    def test_k_exceeding_vertices_is_clean_error(self, engine):
+        r = engine.query(_q(k=10**9))
+        assert r.status == "error"
+        assert "ParameterError" in r.error and "exceeds" in r.error
+
+    def test_invalid_query_does_not_poison_batch(self, engine):
+        rs = engine.execute([_q(k=3, id="good"), _q(epsilon=9.0, id="bad")])
+        by_id = {r.id: r for r in rs}
+        assert by_id["good"].ok
+        assert by_id["bad"].status == "error"
+        assert "epsilon" in by_id["bad"].error
+
+    def test_unknown_dataset_is_error_response(self, engine):
+        r = engine.query(_q(dataset="atlantis"))
+        assert r.status == "error" and "atlantis" in r.error
+
+    def test_stats_snapshot_shape(self, engine):
+        snap = engine.stats_snapshot()
+        assert snap["service"]["queries"] == engine.stats.queries
+        assert set(snap["cache"]) >= {"hits", "misses", "bytes", "hit_rate"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError, match="backend"):
+            QueryEngine(EngineConfig(backend="gpu"))
+
+
+class TestEngineTelemetry:
+    def test_warm_queries_skip_sampling(self):
+        with telemetry.session() as tel:
+            with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+                eng.query(_q(k=4))
+                cold_spans = len(_spans(tel, "sampling.parallel_generate"))
+                assert cold_spans == 1
+                warm = eng.query(_q(k=6))
+            assert warm.cached
+            # No new sampling span for the warm query: cache hit skipped it.
+            assert len(_spans(tel, "sampling.parallel_generate")) == cold_spans
+            counters = tel.registry.snapshot()["counters"]
+            assert counters["service.cache.hits"] >= 1
+            assert counters["service.cold_samples"] == 1
+            assert len(_spans(tel, "service.selection")) == 2
+
+    def test_latency_histogram_and_stat_gauges(self):
+        with telemetry.session() as tel:
+            with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+                for k in (2, 3, 4):
+                    assert eng.query(_q(k=k)).ok
+            snap = tel.registry.snapshot()
+            hist = snap["histograms"]["service.query_latency_s"]
+            assert hist["count"] == 3
+            assert snap["gauges"]["service.stats.ok"] == 3.0
+            assert snap["gauges"]["service.cache_stats.hits"] == 2.0
+
+
+class TestEnginePersistence:
+    def test_artifact_warm_start_across_engines(self, tmp_path):
+        cfg = EngineConfig(default_theta=THETA, artifact_dir=tmp_path)
+        with QueryEngine(cfg) as eng1:
+            cold = eng1.query(_q(k=5))
+            assert not cold.cached and eng1.stats.artifact_saves == 1
+        with QueryEngine(cfg) as eng2:  # fresh process-equivalent: empty cache
+            warm = eng2.query(_q(k=5))
+        assert warm.cached and warm.seeds == cold.seeds
+        assert eng2.stats.cold_samples == 0
+        assert eng2.stats.artifact_loads == 1
+
+    def test_corrupt_artifact_falls_back_to_cold(self, tmp_path):
+        cfg = EngineConfig(default_theta=THETA, artifact_dir=tmp_path)
+        with QueryEngine(cfg) as eng1:
+            cold = eng1.query(_q(k=5))
+        (art_file,) = tmp_path.glob("sketch-*.npz")
+        raw = bytearray(art_file.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        art_file.write_bytes(bytes(raw))
+        with QueryEngine(cfg) as eng2:
+            r = eng2.query(_q(k=5))
+        assert r.ok and r.seeds == cold.seeds  # resampled deterministically
+        assert eng2.stats.artifact_corrupt == 1
+        assert eng2.stats.cold_samples == 1
+
+    def test_persist_false_writes_nothing(self, tmp_path):
+        cfg = EngineConfig(
+            default_theta=THETA, artifact_dir=tmp_path, persist=False
+        )
+        with QueryEngine(cfg) as eng:
+            assert eng.query(_q(k=3)).ok
+        assert list(tmp_path.glob("sketch-*.npz")) == []
+
+
+class TestEngineEviction:
+    def test_tiny_budget_evicts_without_corrupting(self):
+        # Budget fits roughly one sketch: alternating datasets must evict.
+        with QueryEngine(EngineConfig(default_theta=THETA)) as probe:
+            probe.query(_q(k=3))
+            one_entry = probe.cache.current_bytes()
+        cfg = EngineConfig(
+            default_theta=THETA, cache_budget_bytes=int(one_entry * 1.5)
+        )
+        with QueryEngine(cfg) as eng:
+            a1 = eng.query(_q("amazon", k=4))
+            d1 = eng.query(_q("dblp", k=4))
+            a2 = eng.query(_q("amazon", k=4))
+            d2 = eng.query(_q("dblp", k=4))
+        assert eng.cache.stats.evictions >= 2
+        # Evicted-and-resampled answers are identical (deterministic seed).
+        assert a2.seeds == a1.seeds and d2.seeds == d1.seeds
+        assert all(r.ok for r in (a1, d1, a2, d2))
+
+    def test_zero_budget_serves_cold_every_time(self):
+        with QueryEngine(
+            EngineConfig(default_theta=THETA, cache_budget_bytes=0)
+        ) as eng:
+            r1 = eng.query(_q(k=3))
+            r2 = eng.query(_q(k=3))
+        assert r1.ok and r2.ok and not r2.cached
+        assert eng.stats.cold_samples == 2
+        assert eng.cache.stats.rejected == 2
+
+
+class TestServingAcceptance:
+    def test_twenty_queries_two_datasets(self):
+        """The ISSUE acceptance run: >=20 mixed queries over 2 datasets."""
+        rng = np.random.default_rng(7)
+        queries = [
+            _q(dataset=ds, k=int(k), id=f"{ds}-{i}")
+            for i, (ds, k) in enumerate(
+                (["amazon", "dblp"][i % 2], rng.integers(1, 12))
+                for i in range(20)
+            )
+        ]
+        with telemetry.session() as tel:
+            with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+                # Serving-loop style: one query per request, like `repro serve`.
+                responses = [eng.query(q) for q in queries]
+            counters = tel.registry.snapshot()["counters"]
+        assert len(responses) == 20 and all(r.ok for r in responses)
+        # One cold sampling pass per dataset; everything else is warm.
+        assert eng.stats.cold_samples == 2
+        assert counters["service.cache.hits"] == 18
+        assert eng.cache.stats.hits == 18
+        # Prefix consistency across the whole mix, per dataset.
+        for ds in ("amazon", "dblp"):
+            rs = [r for r, q in zip(responses, queries) if q.dataset == ds]
+            longest = max(rs, key=lambda r: len(r.seeds))
+            for r in rs:
+                assert longest.seeds[: len(r.seeds)] == r.seeds
+
+
+# ------------------------------------------------------------------------ CLI
+class TestCLI:
+    def _main(self, argv, capsys):
+        from repro.cli import main
+
+        rc = main(argv)
+        out = capsys.readouterr()
+        return rc, out.out, out.err
+
+    def test_run_bad_epsilon_exits_2(self, capsys):
+        rc, _, err = self._main(
+            ["run", "amazon", "--epsilon", "7", "--theta-cap", "200"], capsys
+        )
+        assert rc == 2
+        assert err.strip() == "error: epsilon must be in (0, 1], got 7.0"
+
+    def test_run_k_too_large_exits_2(self, capsys):
+        rc, _, err = self._main(
+            ["run", "amazon", "--k", "99999999", "--theta-cap", "200"], capsys
+        )
+        assert rc == 2
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_query_bad_epsilon_exits_2(self, capsys):
+        rc, _, err = self._main(
+            ["query", "amazon", "--epsilon", "9"], capsys
+        )
+        assert rc == 2 and err.startswith("error:")
+
+    def test_query_k_too_large_exits_2(self, capsys):
+        rc, _, err = self._main(
+            ["query", "amazon", "--k", "99999999", "--theta-cap", str(THETA)],
+            capsys,
+        )
+        assert rc == 2 and "exceeds" in err
+
+    def test_query_success_json(self, capsys):
+        rc, out, _ = self._main(
+            ["query", "amazon", "--k", "3", "--theta-cap", str(THETA), "--json"],
+            capsys,
+        )
+        assert rc == 0
+        doc = json.loads(out.strip().splitlines()[-1])
+        assert doc["status"] == "ok" and len(doc["seeds"]) == 3
+
+    def test_serve_loop_end_to_end(self, tmp_path):
+        """Spawn `repro serve`, send cold + warm + stats, check the wire."""
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(repo_src))
+        lines = "\n".join(
+            [
+                json.dumps({"dataset": "amazon", "k": 3, "theta_cap": THETA}),
+                json.dumps({"dataset": "amazon", "k": 5, "theta_cap": THETA}),
+                json.dumps({"op": "stats"}),
+                json.dumps({"op": "shutdown"}),
+            ]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--artifacts", str(tmp_path / "arts")],
+            input=lines, capture_output=True, text=True, env=env, timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        docs = [json.loads(l) for l in proc.stdout.strip().splitlines()]
+        q1, q2, stats = docs[0], docs[1], docs[2]
+        assert q1["status"] == "ok" and q1["cached"] is False
+        assert q2["status"] == "ok" and q2["cached"] is True
+        assert q2["seeds"][:3] == q1["seeds"]
+        assert stats["cache"]["hits"] == 1
+        assert stats["service"]["cold_samples"] == 1

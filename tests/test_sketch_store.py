@@ -161,6 +161,70 @@ class TestPartitionedRRRStore:
         with pytest.raises(ParameterError):
             PartitionedRRRStore(10, 0)
 
+    def test_len_iter_get_agree_with_merge(self):
+        """len/iteration/get use worker-concatenated order — merge()'s order."""
+        s = PartitionedRRRStore(10, 3)
+        rng = np.random.default_rng(5)
+        for i in range(11):
+            s.append(i % 3, rng.integers(0, 10, size=rng.integers(1, 5)))
+        merged = s.merge()
+        assert len(s) == len(merged)
+        assert len(list(s)) == len(s)
+        for i, (mine, via_iter) in enumerate(zip(range(len(s)), s)):
+            assert np.array_equal(s.get(i), merged.get(i))
+            assert np.array_equal(via_iter, merged.get(i))
+        assert s.sizes().tolist() == merged.sizes().tolist()
+
+    def test_merge_preserves_sort_sets(self):
+        s = PartitionedRRRStore(10, 2, sort_sets=True)
+        s.append(0, np.array([3, 1, 2]))
+        merged = s.merge()
+        assert merged.sort_sets is True
+        assert merged.get(0).tolist() == [1, 2, 3]
+
+
+class TestFlatStoreAccessors:
+    def test_trim_releases_slack(self):
+        s = FlatRRRStore(100)
+        for _ in range(50):
+            s.append(np.arange(7))
+        assert s.capacity_bytes() > s.nbytes()  # amortised growth left slack
+        before = [s.get(i).copy() for i in range(len(s))]
+        assert s.trim() is s
+        assert s.capacity_bytes() == s.nbytes()
+        for i, x in enumerate(before):
+            assert np.array_equal(s.get(i), x)
+        s.append(np.array([1, 2]))  # still appendable after trim
+        assert len(s) == 51
+
+    def test_from_arrays_roundtrip(self):
+        s = FlatRRRStore(10, sort_sets=True)
+        s.extend([np.array([3, 1]), np.array([5])])
+        s2 = FlatRRRStore.from_arrays(
+            10, s.offsets, s.vertices, sort_sets=True
+        )
+        assert len(s2) == len(s)
+        assert np.array_equal(s2.vertices, s.vertices)
+        # from_arrays copies: mutating the source store must not alias.
+        s.append(np.array([9]))
+        assert len(s2) == 2
+
+    @pytest.mark.parametrize(
+        "offsets",
+        [
+            [1, 2],          # does not start at 0
+            [0, 3, 2],       # decreasing
+            [0, 1],          # does not end at len(vertices)
+        ],
+    )
+    def test_from_arrays_rejects_bad_offsets(self, offsets):
+        with pytest.raises(ParameterError):
+            FlatRRRStore.from_arrays(
+                10,
+                np.asarray(offsets, dtype=np.int64),
+                np.array([1, 2], dtype=np.int32),
+            )
+
 
 class TestStoreProperties:
     @given(
