@@ -21,7 +21,7 @@ def _q(dataset, k, **kw):
 
 
 def test_warm_vs_cold_latency(benchmark, bench_record):
-    with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+    with QueryEngine(config=EngineConfig(default_theta=THETA)) as eng:
         cold = eng.query(_q("amazon", 10))
         warm = benchmark.pedantic(
             lambda: eng.query(_q("amazon", 10)), rounds=3, iterations=1

@@ -20,7 +20,11 @@ Subpackages:
 - :mod:`repro.sketch` — RRR-set representations, stores, compression;
 - :mod:`repro.core` — the IMM algorithm, EfficientIMM, and the Ripples
   baseline;
-- :mod:`repro.runtime` — partitioners, atomics, work queues, backends;
+- :mod:`repro.runtime` — partitioners, atomics, work queues, backends, and
+  the unified execution API (:class:`~repro.runtime.api.BackendConfig`,
+  :class:`~repro.runtime.api.ExecutionContext`);
+- :mod:`repro.resilience` — fault injection, retry policies, and sampling
+  checkpoints threaded through the execution layers (docs/resilience.md);
 - :mod:`repro.simmachine` — the simulated multi-NUMA machine (caches, NUMA
   placement, cost model) behind the scaling and hardware-counter
   experiments;

@@ -7,6 +7,9 @@ Usage::
     repro experiment all            # everything (minutes)
     repro run youtube --model IC --k 20 --framework efficientimm
     repro run youtube --telemetry out/     # + metrics.json & trace.json
+    repro run youtube --checkpoint ckpt/   # resumable sampling batches
+    repro run youtube --checkpoint ckpt/ --resume   # continue after a crash
+    repro run amazon --inject-faults crash@batch:1  # deterministic fault drill
     repro trace amazon --k 10              # telemetry-first run
     repro datasets                  # replica inventory vs paper stats
     repro query amazon --k 10 --artifacts store/   # cached serving, one-shot
@@ -108,6 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--telemetry", metavar="DIR", default=None,
         help="enable telemetry; write DIR/metrics.json and DIR/trace.json",
+    )
+    run.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint sampling batches under DIR (docs/resilience.md)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest matching checkpoint (requires --checkpoint)",
+    )
+    run.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="deterministic fault plan, e.g. 'crash@batch:1,slow@task:0:0.05'",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's corrupt-mangling RNG",
     )
 
     trace = sub.add_parser(
@@ -261,6 +280,7 @@ def _run_params_meta(args: argparse.Namespace) -> dict:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro import EfficientIMM, IMMParams, RipplesIMM, load_dataset, telemetry
+    from repro.errors import ParameterError
 
     graph = load_dataset(args.dataset, model=args.model, seed=args.seed)
     params = IMMParams(
@@ -271,14 +291,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
         EfficientIMM(graph) if args.framework == "efficientimm"
         else RipplesIMM(graph)
     )
+
+    checkpointer = None
+    if getattr(args, "checkpoint", None) is not None:
+        from repro.resilience import SamplingCheckpointer, run_key
+
+        checkpointer = SamplingCheckpointer(
+            args.checkpoint,
+            run_key(graph, params, framework=algo.name),
+        )
+    elif getattr(args, "resume", False):
+        raise ParameterError("--resume requires --checkpoint DIR")
+    fault_plan = None
+    if getattr(args, "inject_faults", None) is not None:
+        from repro.resilience import FaultPlan
+
+        fault_plan = FaultPlan.parse(
+            args.inject_faults, seed=getattr(args, "fault_seed", 0)
+        )
+
+    run_kwargs = dict(
+        checkpointer=checkpointer,
+        resume=getattr(args, "resume", False),
+        fault_plan=fault_plan,
+    )
     telemetry_dir = getattr(args, "telemetry", None)
     if telemetry_dir is not None:
         with telemetry.session() as tel:
-            result = algo.run(params)
+            result = algo.run(params, **run_kwargs)
         paths = telemetry.write_report(telemetry_dir, tel, run=_run_params_meta(args))
         print(f"telemetry: {paths['metrics']} {paths['trace']}")
     else:
-        result = algo.run(params)
+        result = algo.run(params, **run_kwargs)
     print(result.summary())
     print("seeds:", " ".join(map(str, result.seeds.tolist())))
     for stage, secs in result.times.stages.items():
@@ -431,7 +475,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         epsilon=args.epsilon, seed=args.seed, theta_cap=args.theta_cap,
         deadline_s=args.deadline,
     )
-    with QueryEngine(_engine_config(args)) as engine:
+    with QueryEngine(config=_engine_config(args)) as engine:
         resp = engine.query(query)
     if args.json:
         print(resp.to_json())
@@ -439,7 +483,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if not resp.ok:
         print(f"error: {resp.error}", file=sys.stderr)
         return 2 if resp.status == "error" else 3
-    source = "cache/artifact (warm)" if resp.cached else "cold sampling"
+    if resp.degraded:
+        source = "stale artifact (degraded)"
+    elif resp.cached:
+        source = "cache/artifact (warm)"
+    else:
+        source = "cold sampling"
     print(
         f"{args.dataset} [{args.model}] k={args.k}: "
         f"spread estimate {resp.spread_estimate:.1f} "
@@ -464,7 +513,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.num_workers,
     )
     served = 0
-    with telemetry.session() as tel, QueryEngine(config) as engine:
+    with telemetry.session() as tel, QueryEngine(config=config) as engine:
         for raw in sys.stdin:
             line = raw.strip()
             if not line:
@@ -515,7 +564,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.errors import ParameterError
+    from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
     dispatch = {
@@ -535,11 +584,13 @@ def main(argv: list[str] | None = None) -> int:
         raise AssertionError("unreachable")
     try:
         return cmd()
-    except ParameterError as exc:
-        # Bad parameters (k > |V|, epsilon out of range, ...) are user
-        # errors: one clean line on stderr and exit code 2, no traceback.
+    except ReproError as exc:
+        # Every repro error carries its exit code (see repro.errors for the
+        # table): bad parameters exit 2, backend failures 5, injected
+        # faults 7, exhausted retries 8, ... — one clean line on stderr,
+        # no traceback, and the class decides the code in exactly one place.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exc.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -65,8 +65,19 @@ class EfficientIMM:
             memory_budget_bytes=self.memory_budget_bytes,
         )
 
-    def run(self, params: IMMParams | None = None) -> IMMResult:
-        """Execute the full IMM workflow with EfficientIMM's kernels."""
+    def run(
+        self,
+        params: IMMParams | None = None,
+        *,
+        checkpointer=None,
+        resume: bool = False,
+        fault_plan=None,
+    ) -> IMMResult:
+        """Execute the full IMM workflow with EfficientIMM's kernels.
+
+        ``checkpointer`` / ``resume`` / ``fault_plan`` pass through to
+        :func:`~repro.core.imm.run_imm` (docs/resilience.md).
+        """
         params = params or IMMParams()
         policy = (
             AdaptivePolicy(self.bitmap_fraction)
@@ -91,4 +102,7 @@ class EfficientIMM:
             select,
             gather_before_select=False,
             framework=self.name,
+            checkpointer=checkpointer,
+            resume=resume,
+            fault_plan=fault_plan,
         )

@@ -17,11 +17,22 @@ The control flow is Tang et al.'s (and Ripples'):
 ``params.theta_cap`` bounds both phases for test/bench workloads; when it
 binds, the run is flagged (``theta_capped``) so accuracy-sensitive callers
 can tell.
+
+Resilience (docs/resilience.md): every ``sampler.extend`` call is one
+*sampling batch*, numbered from 0 in driver order (estimation levels, then
+the top-up).  A :class:`~repro.resilience.checkpoint.SamplingCheckpointer`
+snapshots the sampler after each completed batch; ``resume=True`` restores
+the latest snapshot before the loop, after which the already-sampled
+batches replay as no-ops (``extend`` targets a set *count*, which the
+restored store already meets) and sampling continues from the restored RNG
+— yielding byte-identical seeds to an uninterrupted run.  A
+:class:`~repro.resilience.faults.FaultPlan` fires ``batch``-scoped faults
+just before each batch runs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
@@ -33,6 +44,10 @@ from repro.core.sampling import RRRSampler, SamplingConfig
 from repro.core.selection import SelectionResult
 from repro.diffusion.base import get_model
 from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.checkpoint import SamplingCheckpointer
+    from repro.resilience.faults import FaultPlan
 
 __all__ = ["run_imm", "SelectFn"]
 
@@ -57,6 +72,9 @@ def run_imm(
     *,
     gather_before_select: bool = False,
     framework: str = "IMM",
+    checkpointer: "SamplingCheckpointer | None" = None,
+    resume: bool = False,
+    fault_plan: "FaultPlan | None" = None,
 ) -> IMMResult:
     """Execute Algorithm 1 and return a fully populated :class:`IMMResult`.
 
@@ -64,6 +82,11 @@ def run_imm(
     stored entry copied once) ahead of each selection; EfficientIMM's fused,
     partition-local pipeline skips it.  ``framework`` labels the telemetry
     spans/metrics this run emits (docs/observability.md).
+
+    ``checkpointer`` snapshots the sampler after every completed sampling
+    batch; ``resume=True`` restores its latest snapshot first (no-op when
+    none exists).  ``fault_plan`` fires ``batch``-scoped faults at the
+    batch boundaries (docs/resilience.md).
     """
     tel = telemetry.get()
     with tel.span(
@@ -71,7 +94,8 @@ def run_imm(
         k=params.k, epsilon=params.epsilon, num_threads=params.num_threads,
     ):
         result = _run_imm_inner(
-            graph, params, sampling_config, select_fn, gather_before_select, tel
+            graph, params, sampling_config, select_fn, gather_before_select,
+            tel, checkpointer, resume, fault_plan,
         )
     if tel.enabled:
         _record_imm_telemetry(tel, result, framework)
@@ -85,12 +109,37 @@ def _run_imm_inner(
     select_fn: SelectFn,
     gather_before_select: bool,
     tel,
+    checkpointer: "SamplingCheckpointer | None" = None,
+    resume: bool = False,
+    fault_plan: "FaultPlan | None" = None,
 ) -> IMMResult:
     n = graph.num_vertices
     times = StageTimes()
     model = get_model(params.model, graph)
     sched = MartingaleSchedule.for_run(n, params.k, params.epsilon, params.ell)
     sampler = RRRSampler(model, sampling_config, seed=params.seed)
+
+    restored_batch: int | None = None
+    if checkpointer is not None and resume:
+        restored_batch = checkpointer.restore(sampler)
+
+    # Batches are numbered in driver order regardless of resume, so a fault
+    # spec like crash@batch:2 and a checkpoint's batch_index always refer to
+    # the same extend call.  Replayed batches (index <= restored) are no-op
+    # extends — the restored store already meets their target — and skip the
+    # redundant checkpoint write.
+    batch_index = -1
+
+    def sample_batch(target: int) -> None:
+        nonlocal batch_index
+        batch_index += 1
+        if fault_plan is not None:
+            fault_plan.invoke("batch", batch_index, lambda: None)
+        sampler.extend(target)
+        if checkpointer is not None and (
+            restored_batch is None or batch_index > restored_batch
+        ):
+            checkpointer.save(sampler, batch_index)
 
     def capped(theta: int) -> int:
         if params.theta_cap is not None:
@@ -119,7 +168,7 @@ def _run_imm_inner(
         with times.measure("Generate_RRRsets"), tel.span(
             "imm.sampling", phase="estimation", level=level, theta=theta_i
         ):
-            sampler.extend(theta_i)
+            sample_batch(theta_i)
         charge_gather()
         with times.measure("Find_Most_Influential_Set"), tel.span(
             "imm.selection", phase="estimation", level=level
@@ -149,7 +198,7 @@ def _run_imm_inner(
         with times.measure("Generate_RRRsets"), tel.span(
             "imm.sampling", phase="top_up", theta=theta
         ):
-            sampler.extend(theta)
+            sample_batch(theta)
 
     # ----------------------------------------------- 3. selection phase
     charge_gather()

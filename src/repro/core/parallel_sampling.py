@@ -20,6 +20,8 @@ guides:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro import telemetry
@@ -30,6 +32,10 @@ from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.runtime.backends import ExecutionBackend, MultiprocessBackend, SerialBackend
 from repro.sketch.store import FlatRRRStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["parallel_generate", "worker_task"]
 
@@ -91,6 +97,8 @@ def parallel_generate(
     num_workers: int = 2,
     seed: int = 0,
     backend: ExecutionBackend | None = None,
+    retry: "RetryPolicy | None" = None,
+    faults: "FaultPlan | None" = None,
 ) -> FlatRRRStore:
     """Generate ``count`` RRR sets across ``num_workers`` processes.
 
@@ -98,6 +106,10 @@ def parallel_generate(
     (worker 0's sets first) — the partition-local layout EfficientIMM's
     selection consumes directly.  Pass a :class:`SerialBackend` to run the
     identical code path in-process (used by tests and single-core hosts).
+
+    ``retry`` / ``faults`` attach resilience to the per-worker tasks
+    (docs/resilience.md); they are installed on the backend this call owns,
+    or onto a caller-supplied backend when given.
     """
     if count < 0:
         raise ParameterError(f"count must be >= 0, got {count}")
@@ -121,6 +133,10 @@ def parallel_generate(
         )
     elif isinstance(backend, SerialBackend):
         _init_worker(graph, model_name)
+    if retry is not None:
+        backend.retry_policy = retry
+    if faults is not None:
+        backend.fault_plan = faults
 
     tel = telemetry.get()
     with tel.span(

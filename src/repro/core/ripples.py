@@ -47,8 +47,19 @@ class RipplesIMM:
             memory_budget_bytes=self.memory_budget_bytes,
         )
 
-    def run(self, params: IMMParams | None = None) -> IMMResult:
-        """Execute the full IMM workflow with Ripples' kernels."""
+    def run(
+        self,
+        params: IMMParams | None = None,
+        *,
+        checkpointer=None,
+        resume: bool = False,
+        fault_plan=None,
+    ) -> IMMResult:
+        """Execute the full IMM workflow with Ripples' kernels.
+
+        ``checkpointer`` / ``resume`` / ``fault_plan`` pass through to
+        :func:`~repro.core.imm.run_imm` (docs/resilience.md).
+        """
         params = params or IMMParams()
 
         def select(store, k, num_threads, initial_counter: np.ndarray | None):
@@ -64,4 +75,7 @@ class RipplesIMM:
             select,
             gather_before_select=True,
             framework=self.name,
+            checkpointer=checkpointer,
+            resume=resume,
+            fault_plan=fault_plan,
         )

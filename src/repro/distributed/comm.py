@@ -9,17 +9,32 @@ equivalent wire traffic to a running clock.
 The method names and buffer conventions deliberately mirror mpi4py's
 capital-letter (buffer-based) API so a future port to real ``mpi4py`` is a
 mechanical substitution — per the paper's future-work framing.
+
+Resilience (docs/resilience.md): a communicator optionally carries a
+:class:`~repro.resilience.faults.FaultPlan` and a
+:class:`~repro.resilience.retry.RetryPolicy`.  Every collective gets a
+monotonically increasing sequence number; the plan's ``collective``-scoped
+specs fire against it (crash before the combine, slow before it, corrupt on
+the result), and the retry policy re-runs a failed collective — which
+succeeds once the fault's budget is spent, the MPI-world analogue of a
+transient link failure.  :class:`CommStats` counts ``retries`` and
+``faults_injected`` alongside the wire accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from repro import telemetry
 from repro.distributed.cluster import ClusterTopology
 from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["CommStats", "SimulatedComm"]
 
@@ -32,6 +47,8 @@ class CommStats:
     bytes_on_wire: float = 0.0
     comm_time_s: float = 0.0
     by_kind: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    faults_injected: int = 0
 
     def record(self, kind: str, nbytes: float, seconds: float) -> None:
         self.num_collectives += 1
@@ -50,10 +67,19 @@ class CommStats:
 class SimulatedComm:
     """A world of ``size`` ranks over a :class:`ClusterTopology`."""
 
-    def __init__(self, cluster: ClusterTopology):
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        *,
+        fault_plan: "FaultPlan | None" = None,
+        retry: "RetryPolicy | None" = None,
+    ):
         self.cluster = cluster
         self.size = cluster.num_nodes
         self.stats = CommStats()
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self._collective_seq = 0
 
     # ------------------------------------------------------------ helpers
     def _check_world(self, buffers: list) -> None:
@@ -61,6 +87,42 @@ class SimulatedComm:
             raise ParameterError(
                 f"expected one buffer per rank ({self.size}), got {len(buffers)}"
             )
+
+    def _resilient(self, kind: str, fn: Callable[[], Any]):
+        """Run one collective under the fault plan and retry policy.
+
+        Each call consumes the next collective sequence number; the fault
+        plan fires against it, and the retry policy re-attempts the same
+        sequence number (the fault's finite budget is what lets a retry
+        succeed).  Retries are counted in :attr:`CommStats.retries` and in
+        the ``comm.retries`` / ``resilience.retries`` telemetry counters.
+        """
+        seq = self._collective_seq
+        self._collective_seq += 1
+        if self.fault_plan is None and self.retry is None:
+            return fn()
+        before = self.fault_plan.injected if self.fault_plan is not None else 0
+
+        def attempt():
+            if self.fault_plan is None:
+                return fn()
+            return self.fault_plan.invoke("collective", seq, fn)
+
+        def on_retry(attempt_no: int, exc: BaseException) -> None:
+            self.stats.retries += 1
+            tel = telemetry.get()
+            if tel.enabled:
+                tel.registry.counter("comm.retries").inc()
+
+        try:
+            if self.retry is None:
+                return attempt()
+            return self.retry.call(
+                attempt, label=f"collective {kind}#{seq}", on_retry=on_retry
+            )
+        finally:
+            if self.fault_plan is not None:
+                self.stats.faults_injected += self.fault_plan.injected - before
 
     # -------------------------------------------------------- collectives
     def Allreduce_sum(self, buffers: list[np.ndarray]) -> np.ndarray:
@@ -73,9 +135,14 @@ class SimulatedComm:
         shapes = {b.shape for b in buffers}
         if len(shapes) != 1:
             raise ParameterError(f"allreduce buffers disagree on shape: {shapes}")
-        total = buffers[0].copy()
-        for b in buffers[1:]:
-            total += b
+
+        def combine():
+            total = buffers[0].copy()
+            for b in buffers[1:]:
+                total += b
+            return total
+
+        total = self._resilient("allreduce", combine)
         nbytes = total.nbytes
         self.stats.record(
             "allreduce", nbytes, self.cluster.allreduce_s(nbytes, self.size)
@@ -85,9 +152,14 @@ class SimulatedComm:
     def Allreduce_max(self, buffers: list[np.ndarray]) -> np.ndarray:
         """Element-wise max across ranks (used for the reduction step)."""
         self._check_world(buffers)
-        out = buffers[0].copy()
-        for b in buffers[1:]:
-            np.maximum(out, b, out=out)
+
+        def combine():
+            out = buffers[0].copy()
+            for b in buffers[1:]:
+                np.maximum(out, b, out=out)
+            return out
+
+        out = self._resilient("allreduce", combine)
         nbytes = out.nbytes
         self.stats.record(
             "allreduce", nbytes, self.cluster.allreduce_s(nbytes, self.size)
@@ -96,6 +168,7 @@ class SimulatedComm:
 
     def Bcast(self, buffer: np.ndarray) -> np.ndarray:
         """Broadcast the root's buffer to all ranks."""
+        buffer = self._resilient("bcast", lambda: buffer)
         nbytes = buffer.nbytes
         self.stats.record("bcast", nbytes, self.cluster.bcast_s(nbytes, self.size))
         return buffer
@@ -103,14 +176,16 @@ class SimulatedComm:
     def Gather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
         """Gather every rank's buffer at the root."""
         self._check_world(buffers)
+        out = self._resilient("gather", lambda: [b.copy() for b in buffers])
         per_rank = max((b.nbytes for b in buffers), default=0)
         self.stats.record(
             "gather",
             float(sum(b.nbytes for b in buffers)),
             self.cluster.gather_s(per_rank, self.size),
         )
-        return [b.copy() for b in buffers]
+        return out
 
     def Barrier(self) -> None:
         """Synchronise all ranks (one zero-byte allreduce)."""
+        self._resilient("barrier", lambda: None)
         self.stats.record("barrier", 0.0, self.cluster.allreduce_s(8, self.size))

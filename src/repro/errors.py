@@ -3,33 +3,70 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything coming out of this package with a single ``except`` clause
 while still being able to discriminate on the specific failure class.
+
+Every class carries a stable ``exit_code`` — the process exit status
+``repro`` (the CLI) maps it to.  The CLI handles *all* library errors from
+this one table instead of per-verb ``except`` clauses (docs/resilience.md):
+
+=====================  ====  ==============================================
+class                  code  meaning
+=====================  ====  ==============================================
+``ReproError``         1     any library failure without a narrower class
+``ParameterError``     2     a parameter is outside its valid domain
+``GraphFormatError``   2     malformed edge list / graph file (user input)
+``DatasetError``       2     unknown dataset name (user input)
+``ArtifactError``      4     persisted artifact missing/corrupt/mismatched
+``BackendError``       5     parallel execution backend failed
+``OutOfMemoryModel-``  6     modelled footprint exceeded the budget
+``FaultInjectedError`` 7     an injected fault fired and was not recovered
+``RetryExhaustedError``8     retries ran out without a successful attempt
+=====================  ====  ==============================================
+
+Codes 2 and above are stable API; scripts may branch on them.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the :mod:`repro` library."""
+    """Base class for every error raised by the :mod:`repro` library.
+
+    ``exit_code`` is the stable process exit status the CLI uses when this
+    error terminates a command; subclasses override it (see the module
+    docstring table).
+    """
+
+    exit_code: int = 1
 
 
 class GraphFormatError(ReproError):
     """An input edge list or graph file is malformed."""
 
+    exit_code = 2
+
 
 class GraphConstructionError(ReproError):
     """A graph could not be built from the supplied arrays or edges."""
+
+    exit_code = 2
 
 
 class ParameterError(ReproError, ValueError):
     """An algorithm parameter is out of its valid domain (e.g. ``k > |V|``)."""
 
+    exit_code = 2
+
 
 class DatasetError(ReproError):
     """A named dataset is unknown or could not be materialised."""
 
+    exit_code = 2
+
 
 class BackendError(ReproError):
     """A parallel execution backend failed or was misconfigured."""
+
+    exit_code = 5
 
 
 class OutOfMemoryModelError(ReproError):
@@ -40,6 +77,8 @@ class OutOfMemoryModelError(ReproError):
     EfficientIMM's adaptive representation fits.  It is raised by the sketch
     store's footprint accounting, never by the host OS.
     """
+
+    exit_code = 6
 
     def __init__(self, required_bytes: int, budget_bytes: int, what: str = "RRR store"):
         self.required_bytes = int(required_bytes)
@@ -56,9 +95,45 @@ class ArtifactError(ReproError):
 
     Raised by :mod:`repro.service.artifacts` when a saved ``.npz`` artifact
     fails its integrity check (checksum, schema version, or fingerprint)
-    rather than silently serving stale or truncated sketch data.
+    rather than silently serving stale or truncated sketch data.  The
+    checkpoint layer (:mod:`repro.resilience.checkpoint`) reuses it for
+    unreadable or mismatched checkpoints.
     """
+
+    exit_code = 4
 
 
 class SimulationError(ReproError):
     """The machine simulator was driven with inconsistent state."""
+
+
+class FaultInjectedError(ReproError):
+    """An injected fault fired (docs/resilience.md).
+
+    Raised by :class:`~repro.resilience.faults.FaultPlan` for ``crash``
+    faults.  Classified as *retryable* by the default
+    :class:`~repro.resilience.retry.RetryPolicy`, so a fault that fires
+    fewer times than the policy's attempt budget is absorbed transparently.
+    """
+
+    exit_code = 7
+
+
+class RetryExhaustedError(ReproError):
+    """Every retry attempt failed; carries the attempt count and last cause.
+
+    Raised by :class:`~repro.resilience.retry.RetryPolicy` when a retryable
+    operation keeps failing past ``max_attempts``.  The original exception
+    is chained as ``__cause__`` and kept in ``last_error``.
+    """
+
+    exit_code = 8
+
+    def __init__(self, what: str, attempts: int, last_error: BaseException):
+        self.what = what
+        self.attempts = int(attempts)
+        self.last_error = last_error
+        super().__init__(
+            f"{what}: all {attempts} attempt(s) failed; last error: "
+            f"{type(last_error).__name__}: {last_error}"
+        )

@@ -1,0 +1,140 @@
+"""Retry with exponential backoff, a jitter cap, and error classification.
+
+One frozen :class:`RetryPolicy` answers three questions the execution
+layers need decided consistently (docs/resilience.md):
+
+1. *Is this error worth retrying?* — transient classes (injected faults,
+   backend failures, OS-level errors, timeouts) are; domain errors
+   (:class:`~repro.errors.ParameterError` and other user mistakes) never
+   are, even when a subclass relation would match.
+2. *How long to wait?* — exponential backoff ``base * 2**(attempt-1)``
+   clamped to ``max_delay_s``, plus a deterministic jitter drawn from the
+   policy's seed and the attempt number (capped at ``jitter_s``), so two
+   retrying workers do not stampede in lockstep yet every run is exactly
+   reproducible.
+3. *When to give up?* — after ``max_attempts`` total attempts the last
+   error is wrapped in :class:`~repro.errors.RetryExhaustedError`.
+
+Every performed retry increments the ``resilience.retries`` telemetry
+counter.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.errors import (
+    BackendError,
+    FaultInjectedError,
+    ParameterError,
+    RetryExhaustedError,
+)
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+#: Error classes a default policy treats as transient.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
+    FaultInjectedError,
+    BackendError,
+    OSError,
+    TimeoutError,
+)
+
+#: Error classes never retried, even when a retryable base class matches.
+DEFAULT_NON_RETRYABLE: tuple[type[BaseException], ...] = (ParameterError,)
+
+
+def _count(name: str, amount: float = 1) -> None:
+    tel = telemetry.get()
+    if tel.enabled:
+        tel.registry.counter(name).inc(amount)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) an operation is retried.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first; ``1`` disables retrying.
+    base_delay_s:
+        First backoff delay; attempt ``i`` waits ``base * 2**(i-1)``.
+    max_delay_s:
+        Clamp on the exponential term (the backoff ceiling).
+    jitter_s:
+        Cap on the additive jitter; the draw is deterministic in
+        ``(seed, attempt)`` so retried runs remain reproducible.
+    retryable / non_retryable:
+        Error classification; ``non_retryable`` wins on overlap.
+    seed:
+        Jitter RNG seed.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0
+    max_delay_s: float = 1.0
+    jitter_s: float = 0.0
+    retryable: tuple[type[BaseException], ...] = field(default=DEFAULT_RETRYABLE)
+    non_retryable: tuple[type[BaseException], ...] = field(default=DEFAULT_NON_RETRYABLE)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter_s < 0:
+            raise ParameterError("retry delays must be >= 0")
+
+    # ------------------------------------------------------- classification
+    def is_retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, self.non_retryable):
+            return False
+        return isinstance(exc, self.retryable)
+
+    # --------------------------------------------------------------- delays
+    def delay_for(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (1-based)."""
+        backoff = min(self.max_delay_s, self.base_delay_s * (2.0 ** (attempt - 1)))
+        jitter = 0.0
+        if self.jitter_s > 0:
+            jitter = random.Random(self.seed * 1_000_003 + attempt).uniform(
+                0.0, self.jitter_s
+            )
+        return backoff + jitter
+
+    # ----------------------------------------------------------------- call
+    def call(self, fn, *, label: str = "operation", on_retry=None):
+        """Run ``fn()`` under this policy.
+
+        Non-retryable errors propagate unchanged on the first failure;
+        retryable errors that survive every attempt are wrapped in
+        :class:`~repro.errors.RetryExhaustedError` (cause chained).
+        ``on_retry(attempt, exc)`` is called before each performed retry.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except Exception as exc:
+                if not self.is_retryable(exc):
+                    raise
+                if attempt >= self.max_attempts:
+                    raise RetryExhaustedError(label, attempt, exc) from exc
+                _count("resilience.retries")
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.delay_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def call_with_retry(fn, policy: RetryPolicy | None, *, label: str = "operation"):
+    """Convenience wrapper: ``policy=None`` means a single plain attempt."""
+    if policy is None:
+        return fn()
+    return policy.call(fn, label=label)

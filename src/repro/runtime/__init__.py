@@ -12,9 +12,15 @@ on:
   scheduler the cost model uses;
 - :mod:`repro.runtime.backends` — serial and multiprocessing execution
   backends (process-based because the CPython GIL forbids shared-memory
-  thread parallelism; see DESIGN.md's substitution table).
+  thread parallelism; see DESIGN.md's substitution table);
+- :mod:`repro.runtime.api` — the unified execution API:
+  :class:`~repro.runtime.api.BackendConfig` (keyword-only description of
+  backend, workers, chunking, and resilience attachments) and
+  :class:`~repro.runtime.api.ExecutionContext` (lazily builds and owns the
+  backend, hands out matching work queues).
 """
 
+from repro.runtime.api import BackendConfig, ExecutionContext
 from repro.runtime.atomic import AtomicCounterArray
 from repro.runtime.backends import (
     ExecutionBackend,
@@ -31,6 +37,8 @@ from repro.runtime.workqueue import ChunkedWorkQueue, simulate_schedule
 
 __all__ = [
     "AtomicCounterArray",
+    "BackendConfig",
+    "ExecutionContext",
     "ExecutionBackend",
     "SerialBackend",
     "MultiprocessBackend",

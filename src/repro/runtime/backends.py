@@ -13,6 +13,15 @@ The backend interface is deliberately tiny — ``run_tasks(worker_fn, tasks)``
 with an optional per-process initializer — because both frameworks'
 parallel sections reduce to "map independent work, then reduce".
 
+Resilience (docs/resilience.md): a backend optionally carries a
+:class:`~repro.resilience.retry.RetryPolicy` and a
+:class:`~repro.resilience.faults.FaultPlan` (normally attached by
+:func:`make_backend` from a :class:`~repro.runtime.api.BackendConfig`).
+Faults are applied *per task index* at the dispatch boundary in the parent
+process — semantically a worker crashing on that task — and retries re-run
+only the failed tasks, with backoff, until the policy's attempt budget runs
+out (:class:`~repro.errors.RetryExhaustedError`).
+
 Telemetry (docs/observability.md): when the global session is enabled,
 ``run_tasks`` wraps every task to record per-task latency
 (``runtime.task_latency_s``), task/failure counts, worker utilisation, and
@@ -27,12 +36,18 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro import telemetry
-from repro.errors import BackendError
+from repro.errors import BackendError, FaultInjectedError, RetryExhaustedError
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.telemetry.metrics import diff_snapshots
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.api import BackendConfig
 
 __all__ = ["ExecutionBackend", "SerialBackend", "MultiprocessBackend", "make_backend"]
 
@@ -53,6 +68,32 @@ def _instrumented_task(packed: tuple[Callable[[Any], Any], Any]):
     return result, elapsed, diff_snapshots(tel.registry.snapshot(), before)
 
 
+class _InitGuard:
+    """Initializer wrapper signalling worker init failures to the parent.
+
+    Fork-inherited (never pickled): ``error`` is set when the wrapped
+    initializer raises, ``ready`` counts successful initialisations, so the
+    parent can distinguish "pool is up" from "workers are crash-looping".
+    """
+
+    def __init__(self, initializer, initargs, error, ready):
+        self._initializer = initializer
+        self._initargs = initargs
+        self._error = error
+        self._ready = ready
+
+    def __call__(self):
+        try:
+            self._initializer(*self._initargs)
+        except BaseException:
+            self._error.set()
+            # SystemExit keeps the child's death quiet (no traceback spam
+            # from every respawned worker); the parent already has the flag.
+            raise SystemExit(1)
+        with self._ready.get_lock():
+            self._ready.value += 1
+
+
 class ExecutionBackend(ABC):
     """Minimal map-style execution interface."""
 
@@ -61,6 +102,11 @@ class ExecutionBackend(ABC):
 
     #: Telemetry label distinguishing backend-specific metrics.
     backend_name: str = "backend"
+
+    #: Optional resilience attachments (docs/resilience.md); ``None`` means
+    #: plain fail-fast execution with zero overhead on the clean path.
+    retry_policy: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
 
     @abstractmethod
     def run_tasks(
@@ -78,6 +124,27 @@ class ExecutionBackend(ABC):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------ resilience
+    @property
+    def resilient(self) -> bool:
+        """True when a retry policy or fault plan is attached."""
+        return self.retry_policy is not None or self.fault_plan is not None
+
+    def _call_resilient(self, fn: Callable[[], Any], index: int):
+        """One task through the fault plan and retry policy (serial path)."""
+        plan = self.fault_plan
+
+        def attempt():
+            if plan is None:
+                return fn()
+            return plan.invoke("task", index, fn)
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.call(
+            attempt, label=f"{self.backend_name} task {index}"
+        )
 
     # ------------------------------------------------------------- telemetry
     def _record_run(
@@ -109,17 +176,24 @@ class SerialBackend(ExecutionBackend):
 
     def run_tasks(self, worker_fn, tasks):
         tel = telemetry.get()
-        if not tel.enabled:
+        if not tel.enabled and not self.resilient:
             return [worker_fn(t) for t in tasks]
+        if not tel.enabled:
+            return [
+                self._call_resilient(lambda t=t: worker_fn(t), i)
+                for i, t in enumerate(tasks)
+            ]
         with tel.span("runtime.run_tasks", backend=self.backend_name,
                       num_workers=1, num_tasks=len(tasks)):
             t0 = time.perf_counter()
             results: list[Any] = []
             task_seconds: list[float] = []
-            for t in tasks:
+            for i, t in enumerate(tasks):
                 s0 = time.perf_counter()
                 try:
-                    results.append(worker_fn(t))
+                    results.append(
+                        self._call_resilient(lambda t=t: worker_fn(t), i)
+                    )
                 except Exception:
                     tel.registry.counter("runtime.task_failures").inc()
                     raise
@@ -137,7 +211,13 @@ class MultiprocessBackend(ExecutionBackend):
         Process count; defaults to ``os.cpu_count()``.
     initializer / initargs:
         Run once in each worker process (e.g. to install the graph into a
-        module-level slot so tasks only carry small descriptors).
+        module-level slot so tasks only carry small descriptors).  A
+        raising initializer is detected here, the half-up pool is torn
+        down (no leaked forked workers endlessly respawning), and a
+        :class:`~repro.errors.BackendError` is raised.
+    init_timeout_s:
+        How long to wait for every worker's initializer to finish before
+        declaring the spin-up failed.
     """
 
     backend_name = "multiprocess"
@@ -148,6 +228,7 @@ class MultiprocessBackend(ExecutionBackend):
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        init_timeout_s: float = 120.0,
     ):
         import multiprocessing as mp
 
@@ -159,16 +240,48 @@ class MultiprocessBackend(ExecutionBackend):
             ctx = mp.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX hosts
             raise BackendError("fork start method unavailable on this host") from exc
+        if initializer is None:
+            self._pool = ctx.Pool(self.num_workers)
+            return
+        # Guarded spin-up: without this, an initializer that raises leaves
+        # the pool respawning crash-looping forked workers forever and the
+        # first map() hangs.  The guard reports failure (or completion) and
+        # the pool is terminated before the error surfaces.
+        error = ctx.Event()
+        ready = ctx.Value("i", 0)
         self._pool = ctx.Pool(
-            self.num_workers, initializer=initializer, initargs=initargs
+            self.num_workers,
+            initializer=_InitGuard(initializer, initargs, error, ready),
         )
+        deadline = time.monotonic() + init_timeout_s
+        while True:
+            if error.is_set():
+                self.close()
+                raise BackendError(
+                    "worker initializer raised during pool spin-up; "
+                    "pool terminated"
+                )
+            with ready.get_lock():
+                done = ready.value
+            if done >= self.num_workers:
+                return
+            if time.monotonic() > deadline:
+                self.close()
+                raise BackendError(
+                    f"worker initializers did not finish within "
+                    f"{init_timeout_s:.0f}s; pool terminated"
+                )
+            time.sleep(0.002)
 
     def run_tasks(self, worker_fn, tasks):
         if self._pool is None:
             raise BackendError("backend already closed")
+        tasks = list(tasks)
         tel = telemetry.get()
+        if self.resilient:
+            return self._run_tasks_resilient(worker_fn, tasks, tel)
         if not tel.enabled:
-            return self._pool.map(worker_fn, list(tasks))
+            return self._pool.map(worker_fn, tasks)
         with tel.span("runtime.run_tasks", backend=self.backend_name,
                       num_workers=self.num_workers, num_tasks=len(tasks)):
             t0 = time.perf_counter()
@@ -190,6 +303,89 @@ class MultiprocessBackend(ExecutionBackend):
             self._record_run(task_seconds, wall, time.perf_counter() - r0)
             return results
 
+    def _run_tasks_resilient(self, worker_fn, tasks, tel):
+        """Per-task async dispatch with parent-side faults and retries.
+
+        Each round submits the outstanding tasks concurrently, collects
+        failures, and — when the retry policy allows — re-submits only the
+        failed ones after the policy's backoff.  Faults fire in the parent
+        at the dispatch boundary so the plan's state stays in one process
+        and the schedule is deterministic.
+        """
+        plan, policy = self.fault_plan, self.retry_policy
+        instrument = tel.enabled
+        results: list[Any] = [None] * len(tasks)
+        task_seconds: list[float] = []
+        pending = list(range(len(tasks)))
+        attempt = 1
+        max_attempts = policy.max_attempts if policy is not None else 1
+        with tel.span("runtime.run_tasks", backend=self.backend_name,
+                      num_workers=self.num_workers, num_tasks=len(tasks)):
+            t0 = time.perf_counter()
+            while pending:
+                submitted: list[tuple[int, Any, Any, BaseException | None]] = []
+                for i in pending:
+                    spec = plan.take("task", i) if plan is not None else None
+                    if spec is not None and spec.kind == "crash":
+                        submitted.append(
+                            (i, None, spec,
+                             FaultInjectedError(f"injected {spec.describe()}"))
+                        )
+                        continue
+                    if spec is not None and spec.kind == "slow":
+                        time.sleep(spec.delay_s)
+                    if instrument:
+                        ar = self._pool.apply_async(
+                            _instrumented_task, ((worker_fn, tasks[i]),)
+                        )
+                    else:
+                        ar = self._pool.apply_async(worker_fn, (tasks[i],))
+                    submitted.append((i, ar, spec, None))
+                failures: list[tuple[int, BaseException]] = []
+                for i, ar, spec, exc in submitted:
+                    r = None
+                    if ar is not None:
+                        try:
+                            r = ar.get()
+                        except Exception as worker_exc:
+                            exc = worker_exc
+                    if exc is not None:
+                        if instrument:
+                            tel.registry.counter("runtime.task_failures").inc()
+                        failures.append((i, exc))
+                        continue
+                    if instrument:
+                        r, secs, delta = r
+                        task_seconds.append(secs)
+                        tel.registry.merge_snapshot(delta)
+                    if spec is not None and spec.kind == "corrupt":
+                        r = plan.corrupt(r)
+                    results[i] = r
+                if not failures:
+                    break
+                first_idx, first_exc = failures[0]
+                if policy is None:
+                    raise first_exc
+                for _, exc in failures:
+                    if not policy.is_retryable(exc):
+                        raise exc
+                if attempt >= max_attempts:
+                    raise RetryExhaustedError(
+                        f"{self.backend_name} task {first_idx}",
+                        attempt,
+                        first_exc,
+                    ) from first_exc
+                if tel.enabled:
+                    tel.registry.counter("resilience.retries").inc(len(failures))
+                delay = policy.delay_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                pending = [i for i, _ in failures]
+                attempt += 1
+            if instrument:
+                self._record_run(task_seconds, time.perf_counter() - t0)
+        return results
+
     def close(self) -> None:
         """Terminate the pool; idempotent and exception-safe.
 
@@ -209,22 +405,46 @@ class MultiprocessBackend(ExecutionBackend):
 
 
 def make_backend(
-    name: str,
+    config: "BackendConfig | str | None" = None,
     num_workers: int | None = None,
     **kwargs,
 ) -> ExecutionBackend:
-    """Factory: ``"serial"`` or ``"multiprocess"``.
+    """Factory: build a backend from a :class:`~repro.runtime.api.BackendConfig`.
 
-    Validates ``num_workers`` up front so misconfiguration fails with a
-    :class:`~repro.errors.BackendError` here rather than a downstream crash
-    inside a pool or partitioner.
+    The config carries the backend name, worker count, and the optional
+    resilience attachments (retry policy, fault plan), which are installed
+    on the returned backend.  The pre-redesign positional form
+    ``make_backend("serial"|"multiprocess", num_workers, **kwargs)`` keeps
+    working through a shim that emits :class:`DeprecationWarning`.
     """
-    if num_workers is not None and num_workers < 1:
-        raise BackendError(
-            f"num_workers must be >= 1, got {num_workers} (backend {name!r})"
+    from repro.runtime.api import BackendConfig
+
+    if config is None or isinstance(config, str):
+        warnings.warn(
+            "repro execution API: make_backend(name, num_workers, ...) is "
+            "deprecated; pass a keyword-only BackendConfig instead, e.g. "
+            "make_backend(BackendConfig(backend='multiprocess', num_workers=4))",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if name == "serial":
-        return SerialBackend()
-    if name == "multiprocess":
-        return MultiprocessBackend(num_workers, **kwargs)
-    raise BackendError(f"unknown backend {name!r}")
+        config = BackendConfig(
+            backend=config or "serial", num_workers=num_workers, **kwargs
+        )
+    elif num_workers is not None or kwargs:
+        raise BackendError(
+            "make_backend(BackendConfig(...)) takes no extra arguments; "
+            "fold them into the config"
+        )
+    if config.backend == "serial":
+        backend: ExecutionBackend = SerialBackend()
+    elif config.backend == "multiprocess":
+        backend = MultiprocessBackend(
+            config.num_workers,
+            initializer=config.initializer,
+            initargs=config.initargs,
+        )
+    else:  # unreachable through BackendConfig validation, kept defensive
+        raise BackendError(f"unknown backend {config.backend!r}")
+    backend.retry_policy = config.retry
+    backend.fault_plan = config.faults
+    return backend

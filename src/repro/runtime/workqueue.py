@@ -14,18 +14,32 @@ Two views of the same policy live here:
 - :func:`simulate_schedule` — given per-item costs, compute the assignment
   and makespan a given policy yields.  The cost model calls this to turn
   measured per-RRR work into per-thread simulated time for 1..128 threads.
+
+Resilience (docs/resilience.md): the queue understands worker failure —
+:meth:`ChunkedWorkQueue.fail_worker` retires a rank, whose unfinished
+chunks stay stealable by the survivors, and :meth:`~ChunkedWorkQueue.requeue`
+returns a chunk a worker died *holding* to the pool.  An optional
+:class:`~repro.resilience.faults.FaultPlan` injects rank-scoped faults at
+the ``pop`` boundary.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from dataclasses import dataclass
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ParameterError
+from repro.errors import BackendError, FaultInjectedError, ParameterError
 from repro.runtime.partition import block_partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultPlan
+    from repro.runtime.api import BackendConfig
 
 __all__ = ["ChunkedWorkQueue", "ScheduleResult", "simulate_schedule"]
 
@@ -39,13 +53,57 @@ class ChunkedWorkQueue:
     stolen from the *back* of the currently longest peer queue; ``None``
     when all queues are empty.  Thread-safe; stealing order is deterministic
     given a call sequence.
+
+    Construct with keywords (``ChunkedWorkQueue(n, num_workers=4,
+    chunk_size=8)``) or from a :class:`~repro.runtime.api.BackendConfig`
+    (``ChunkedWorkQueue(n, config=cfg)``), which also supplies the fault
+    plan.  The pre-redesign positional form ``ChunkedWorkQueue(n, workers,
+    chunk)`` still works but emits :class:`DeprecationWarning`.
     """
 
-    def __init__(self, num_items: int, num_workers: int, chunk_size: int = 1):
+    def __init__(
+        self,
+        num_items: int,
+        *args,
+        num_workers: int | None = None,
+        chunk_size: int | None = None,
+        config: "BackendConfig | None" = None,
+        fault_plan: "FaultPlan | None" = None,
+    ):
+        if args:
+            warnings.warn(
+                "repro execution API: ChunkedWorkQueue(num_items, "
+                "num_workers, chunk_size) positional form is deprecated; "
+                "use keyword arguments or pass config=BackendConfig(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise ParameterError(
+                    f"ChunkedWorkQueue takes at most 3 positional arguments, "
+                    f"got {1 + len(args)}"
+                )
+            if num_workers is None:
+                num_workers = args[0]
+            if len(args) > 1 and chunk_size is None:
+                chunk_size = args[1]
+        if config is not None:
+            if num_workers is None:
+                num_workers = config.num_workers
+            if chunk_size is None:
+                chunk_size = config.chunk_size
+            if fault_plan is None:
+                fault_plan = config.faults
+        if chunk_size is None:
+            chunk_size = 1
+        if num_workers is None:
+            raise ParameterError("ChunkedWorkQueue requires num_workers")
         if chunk_size <= 0:
             raise ParameterError(f"chunk_size must be positive, got {chunk_size}")
         if num_workers <= 0:
             raise ParameterError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.fault_plan = fault_plan
         chunks = [
             (start, min(start + chunk_size, num_items))
             for start in range(0, num_items, chunk_size)
@@ -54,18 +112,37 @@ class ChunkedWorkQueue:
         self._queues: list[list[tuple[int, int]]] = [
             chunks[lo:hi] for lo, hi in bounds
         ]
+        self._failed: set[int] = set()
         self._lock = threading.Lock()
         self.steals = 0
         self.pops = 0
 
     def pop(self, worker: int) -> tuple[int, int] | None:
-        """Next ``(start, end)`` item range for ``worker``, or ``None``."""
+        """Next ``(start, end)`` item range for ``worker``, or ``None``.
+
+        Raises :class:`~repro.errors.BackendError` when the worker has been
+        retired via :meth:`fail_worker`, and
+        :class:`~repro.errors.FaultInjectedError` when the attached fault
+        plan scripts a crash for this rank (``slow`` faults sleep instead).
+        """
+        if self.fault_plan is not None:
+            spec = self.fault_plan.take("rank", worker)
+            if spec is not None:
+                if spec.kind == "crash":
+                    raise FaultInjectedError(f"injected {spec.describe()}")
+                if spec.kind == "slow":
+                    time.sleep(spec.delay_s)
+                # "corrupt" has no meaningful rank-level payload; ignored.
         with self._lock:
+            if worker in self._failed:
+                raise BackendError(f"worker {worker} has failed; cannot pop")
             own = self._queues[worker]
             if own:
                 self.pops += 1
                 return own.pop(0)
             # Steal from the longest queue (back end, away from the owner).
+            # Failed workers' leftover queues are deliberately included —
+            # that is how their unfinished work gets redistributed.
             victim = max(
                 range(len(self._queues)), key=lambda w: len(self._queues[w])
             )
@@ -74,6 +151,35 @@ class ChunkedWorkQueue:
                 self.pops += 1
                 return self._queues[victim].pop()
             return None
+
+    # ------------------------------------------------------------ resilience
+    def fail_worker(self, worker: int) -> int:
+        """Retire a rank; returns how many of its chunks remain stealable.
+
+        The failed worker can no longer ``pop`` (it raises
+        :class:`~repro.errors.BackendError`), but its queued chunks stay in
+        place for the surviving workers to steal, so no work is lost.
+        """
+        with self._lock:
+            if not 0 <= worker < len(self._queues):
+                raise ParameterError(f"no such worker {worker}")
+            self._failed.add(worker)
+            return len(self._queues[worker])
+
+    def requeue(self, chunk: tuple[int, int]) -> None:
+        """Return a popped-but-unfinished chunk (e.g. from a worker that
+        died holding it) to the front of the least-loaded live queue."""
+        with self._lock:
+            live = [w for w in range(len(self._queues)) if w not in self._failed]
+            if not live:
+                raise BackendError("all workers have failed; cannot requeue")
+            target = min(live, key=lambda w: len(self._queues[w]))
+            self._queues[target].insert(0, (int(chunk[0]), int(chunk[1])))
+
+    @property
+    def failed_workers(self) -> frozenset[int]:
+        with self._lock:
+            return frozenset(self._failed)
 
     def remaining(self) -> int:
         with self._lock:

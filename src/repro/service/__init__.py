@@ -17,10 +17,16 @@ Typical use::
 
     from repro.service import EngineConfig, IMQuery, QueryEngine
 
-    with QueryEngine(EngineConfig(artifact_dir="artifacts/")) as engine:
+    with QueryEngine(config=EngineConfig(artifact_dir="artifacts/")) as engine:
         cold = engine.query(IMQuery(dataset="amazon", k=10))
         warm = engine.query(IMQuery(dataset="amazon", k=25))  # cache hit
         assert warm.cached
+
+Execution (backend choice, retry policy, fault plan) can be controlled by
+passing ``context=ExecutionContext(BackendConfig(...))`` — see
+:mod:`repro.runtime.api` and docs/resilience.md.  When a cold sampling
+pass fails, the engine degrades gracefully to the freshest compatible
+stale artifact (response flag ``degraded: true``) instead of erroring.
 
 From the shell: ``repro query amazon --k 10`` (one-shot) and
 ``repro serve`` (JSON-lines request loop on stdin/stdout); see
@@ -31,6 +37,7 @@ from repro.service.artifacts import (
     SKETCH_SCHEMA_VERSION,
     ArtifactStore,
     load_store,
+    read_artifact_meta,
     save_store,
     sketch_fingerprint,
 )
@@ -46,6 +53,7 @@ __all__ = [
     "save_store",
     "load_store",
     "sketch_fingerprint",
+    "read_artifact_meta",
     "SKETCH_SCHEMA_VERSION",
     "SketchCache",
     "CacheEntry",

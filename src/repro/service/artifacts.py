@@ -45,6 +45,7 @@ __all__ = [
     "sketch_fingerprint",
     "save_store",
     "load_store",
+    "read_artifact_meta",
     "ArtifactStore",
 ]
 
@@ -70,7 +71,8 @@ def _payload_checksum(arrays: dict[str, np.ndarray]) -> int:
     crc = 0
     for key in sorted(arrays):
         crc = zlib.crc32(key.encode("utf-8"), crc)
-        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+        # memoryview avoids materialising a bytes copy of multi-MB payloads
+        crc = zlib.crc32(memoryview(np.ascontiguousarray(arrays[key])), crc)
     return crc & 0xFFFFFFFF
 
 
@@ -116,6 +118,7 @@ def save_store(
     fingerprint: str = "",
     counter: np.ndarray | None = None,
     meta: dict[str, Any] | None = None,
+    compress: bool = True,
 ) -> Path:
     """Persist any RRR store (plus optional fused counter) as a checksummed
     ``.npz`` artifact; returns the written path.
@@ -123,6 +126,9 @@ def save_store(
     ``fingerprint`` and ``meta`` are stored verbatim and verified/exposed by
     :func:`load_store`; ``counter`` is the fused occurrence counter so a warm
     load can feed ``efficient_select(initial_counter=...)`` directly.
+    ``compress=False`` trades disk size for write speed — rolling sampling
+    checkpoints use it because they are rewritten after every batch and the
+    zlib pass dominates the write cost; ``load_store`` reads both forms.
     """
     kind, arrays, store_meta = _store_payload(store)
     if counter is not None:
@@ -137,7 +143,8 @@ def save_store(
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
+    writer = np.savez_compressed if compress else np.savez
+    writer(
         path,
         header=np.frombuffer(
             json.dumps(doc, sort_keys=True).encode("utf-8"), dtype=np.uint8
@@ -240,6 +247,30 @@ def load_store(
     return store, counter, doc.get("meta", {})
 
 
+def read_artifact_meta(path: str | os.PathLike) -> dict[str, Any] | None:
+    """Header-only peek at an artifact's ``meta`` dict (no payload checks).
+
+    Reads just the JSON header — cheap even for large sketches — and returns
+    ``None`` instead of raising when the file is missing, unreadable, or not
+    a repro artifact, so directory scans can skip junk silently.  The
+    returned dict additionally carries the header's ``fingerprint`` under
+    ``"_fingerprint"``.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            if "header" not in data.files:
+                return None
+            doc = json.loads(bytes(data["header"]).decode("utf-8"))
+    except Exception:
+        return None
+    if doc.get("schema_version") != SKETCH_SCHEMA_VERSION:
+        return None
+    meta = dict(doc.get("meta", {}))
+    meta["_fingerprint"] = doc.get("fingerprint", "")
+    return meta
+
+
 class ArtifactStore:
     """A directory of fingerprint-keyed graph and sketch artifacts.
 
@@ -270,6 +301,33 @@ class ArtifactStore:
             p.stem.removeprefix("sketch-")
             for p in self.root.glob("sketch-*.npz")
         )
+
+    def newest_sketch(
+        self, *, dataset: str | None = None, model: str | None = None
+    ) -> str | None:
+        """Fingerprint of the freshest sketch matching the filters, or ``None``.
+
+        Scans sketch artifacts newest-first (by mtime) reading only their
+        headers; ``dataset``/``model`` match the meta the engine persists
+        with every sketch.  This is the graceful-degradation lookup
+        (docs/resilience.md): when cold sampling fails, the engine serves
+        the freshest *compatible* stale sketch rather than erroring.
+        """
+        candidates = sorted(
+            self.root.glob("sketch-*.npz"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        for path in candidates:
+            meta = read_artifact_meta(path)
+            if meta is None:
+                continue
+            if dataset is not None and str(meta.get("dataset", "")).lower() != dataset.lower():
+                continue
+            if model is not None and str(meta.get("model", "")).upper() != model.upper():
+                continue
+            return path.stem.removeprefix("sketch-")
+        return None
 
     # ----------------------------------------------------------------- graphs
     def save_graph(self, graph: CSRGraph) -> str:

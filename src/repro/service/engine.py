@@ -20,6 +20,15 @@ Per-query deadlines are enforced at every stage boundary: an expired query
 is answered with a ``"timeout"`` response (a reported ``TimeoutError``,
 never a hang) while the rest of its batch proceeds.
 
+Resilience (docs/resilience.md): the engine executes on an
+:class:`~repro.runtime.api.ExecutionContext` (built from its config, or
+passed in via ``context=``), whose retry policy and fault plan flow into
+the cold sampling passes.  When a cold sample fails anyway, the engine
+*degrades gracefully*: it serves the freshest compatible stale artifact —
+same dataset and model, whatever sketch parameters — with ``degraded:
+true`` on the response instead of an error, and never caches that entry
+under the failed fingerprint (the next attempt retries the real sketch).
+
 Telemetry (``service.*``, docs/observability.md): cache hits/misses/
 evictions, batch sizes, queue wait, cold-sample and artifact counters, and
 a query-latency histogram whose ``percentile(0.95)`` is the serving p95.
@@ -28,6 +37,7 @@ a query-latency histogram whose ``percentile(0.95)`` is the serving p95.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -40,7 +50,7 @@ from repro.core.selection import efficient_select
 from repro.errors import ArtifactError, ParameterError, ReproError
 from repro.graph.datasets import load_dataset
 from repro.graph.io import graph_fingerprint
-from repro.runtime.backends import SerialBackend
+from repro.runtime.api import BackendConfig, ExecutionContext
 from repro.service.artifacts import ArtifactStore, sketch_fingerprint
 from repro.service.cache import CacheEntry, SketchCache
 from repro.service.protocol import IMQuery, IMResponse
@@ -83,6 +93,7 @@ class ServiceStats:
     artifact_loads: int = 0
     artifact_saves: int = 0
     artifact_corrupt: int = 0
+    degraded: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -92,6 +103,7 @@ class ServiceStats:
             "artifact_loads": self.artifact_loads,
             "artifact_saves": self.artifact_saves,
             "artifact_corrupt": self.artifact_corrupt,
+            "degraded": self.degraded,
         }
 
 
@@ -116,7 +128,25 @@ class QueryEngine:
     cold sampling parallelism comes from the runtime backend underneath.
     """
 
-    def __init__(self, config: EngineConfig | None = None):
+    def __init__(
+        self,
+        *args,
+        config: EngineConfig | None = None,
+        context: ExecutionContext | None = None,
+    ):
+        if args:
+            warnings.warn(
+                "repro execution API: QueryEngine(config) positional form "
+                "is deprecated; use QueryEngine(config=...) — and pass "
+                "context=ExecutionContext(...) to control execution",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 1 or config is not None:
+                raise ParameterError(
+                    "QueryEngine takes at most one EngineConfig"
+                )
+            config = args[0]
         self.config = config or EngineConfig()
         self.cache = SketchCache(self.config.cache_budget_bytes)
         self.artifacts = (
@@ -128,11 +158,23 @@ class QueryEngine:
             raise ParameterError(
                 f"unknown engine backend {self.config.backend!r}"
             )
+        if context is None:
+            context = ExecutionContext(
+                BackendConfig(
+                    backend=self.config.backend,
+                    num_workers=self.config.num_workers,
+                    telemetry_label="service",
+                )
+            )
+        self.context = context
         # A shared serial backend is reused across cold passes; the
         # multiprocess path hands backend=None to parallel_generate, which
-        # builds a properly initialised fork pool per (graph, pass).
+        # builds a properly initialised fork pool per (graph, pass) — the
+        # context's retry policy and fault plan ride along either way.
         self._backend = (
-            SerialBackend() if self.config.backend == "serial" else None
+            self.context.backend
+            if self.context.config.backend == "serial"
+            else None
         )
         self._graphs: dict[tuple, Any] = {}
         self._graph_fps: dict[tuple, str] = {}
@@ -140,8 +182,8 @@ class QueryEngine:
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        if self._backend is not None:
-            self._backend.close()
+        self.context.close()
+        self._backend = None
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -234,6 +276,7 @@ class QueryEngine:
         num_vertices: int,
         num_sets: int,
         cached: bool,
+        degraded: bool = False,
     ) -> IMResponse:
         latency = time.monotonic() - p.submitted_at
         self.stats.queries += 1
@@ -242,6 +285,10 @@ class QueryEngine:
         if tel.enabled:
             tel.registry.counter("service.queries").inc()
             tel.registry.histogram("service.query_latency_s").observe(latency)
+        if degraded:
+            self.stats.degraded += 1
+            self._tel_inc("service.degraded")
+            self._tel_inc("resilience.degraded_responses")
         return IMResponse(
             status="ok",
             id=p.query.id,
@@ -250,6 +297,7 @@ class QueryEngine:
             coverage_fraction=coverage,
             num_rrrsets=num_sets,
             cached=cached,
+            degraded=degraded,
             latency_s=latency,
         )
 
@@ -327,7 +375,18 @@ class QueryEngine:
             graph_fp, q0.model, q0.epsilon, q0.seed, num_sets
         )
         with tel.span("service.batch", fingerprint=fp, size=len(live)):
-            entry, cached = self._acquire_sketch(fp, graph, q0, num_sets)
+            try:
+                entry, cached, degraded = self._acquire_sketch(
+                    fp, graph, q0, num_sets
+                )
+            except (ReproError, OSError) as exc:
+                # Cold sampling failed and no stale artifact could stand in:
+                # the whole group gets error responses, nothing raises out.
+                for p in live:
+                    out.append(
+                        (p, self._finish_error(p.query, exc, p.submitted_at))
+                    )
+                return out
 
             live = self._split_expired(live, out)
             if not live:
@@ -355,6 +414,7 @@ class QueryEngine:
                     self._finish_ok(
                         p, selection.seeds[:k], coverage,
                         graph.num_vertices, num_store_sets, cached,
+                        degraded=degraded,
                     ),
                 )
             )
@@ -362,13 +422,19 @@ class QueryEngine:
 
     def _acquire_sketch(
         self, fp: str, graph, query: IMQuery, num_sets: int
-    ) -> tuple[CacheEntry, bool]:
-        """Memory cache -> artifact -> cold sampling; returns (entry, warm)."""
+    ) -> tuple[CacheEntry, bool, bool]:
+        """Memory cache -> artifact -> cold sampling -> stale fallback.
+
+        Returns ``(entry, warm, degraded)``.  When cold sampling fails and
+        a compatible stale artifact exists, that entry is returned with
+        ``degraded=True`` and is *not* cached under ``fp`` — the next query
+        for this fingerprint attempts the real sketch again.
+        """
         tel = telemetry.get()
         entry = self.cache.get(fp)
         if entry is not None:
             self._tel_inc("service.cache.hits")
-            return entry, True
+            return entry, True, False
         self._tel_inc("service.cache.misses")
 
         if self.artifacts is not None and self.artifacts.has_sketch(fp):
@@ -382,21 +448,30 @@ class QueryEngine:
                 self._tel_inc("service.artifacts.loads")
                 self.cache.put(fp, entry)
                 self._sync_cache_telemetry()
-                return entry, True
+                return entry, True, False
             except ArtifactError:
                 # Corrupt artifact: report, fall back to cold sampling.
                 self.stats.artifact_corrupt += 1
                 self._tel_inc("service.artifacts.corrupt")
 
-        # Cold path: sample on the runtime backend work queue.
-        store = parallel_generate(
-            graph,
-            str(query.model).upper(),
-            num_sets,
-            num_workers=self.config.num_workers,
-            seed=int(query.seed),
-            backend=self._backend,
-        )
+        # Cold path: sample on the runtime backend work queue, under the
+        # context's retry policy and fault plan (docs/resilience.md).
+        try:
+            store = parallel_generate(
+                graph,
+                str(query.model).upper(),
+                num_sets,
+                num_workers=self.config.num_workers,
+                seed=int(query.seed),
+                backend=self._backend,
+                retry=self.context.retry,
+                faults=self.context.faults,
+            )
+        except (ReproError, OSError) as exc:
+            stale = self._stale_fallback(query)
+            if stale is not None:
+                return stale, False, True
+            raise
         store.trim()
         counter = store.vertex_counts()
         entry = CacheEntry(
@@ -418,7 +493,33 @@ class QueryEngine:
             self._tel_inc("service.artifacts.saves")
         self.cache.put(fp, entry)
         self._sync_cache_telemetry()
-        return entry, False
+        return entry, False, False
+
+    def _stale_fallback(self, query: IMQuery) -> CacheEntry | None:
+        """The freshest stale sketch compatible with a failed query, if any.
+
+        Compatible means same dataset and diffusion model; the sketch
+        parameters (epsilon, seed, size) may differ — that imprecision is
+        exactly what the response's ``degraded: true`` flag discloses.
+        """
+        if self.artifacts is None:
+            return None
+        stale_fp = self.artifacts.newest_sketch(
+            dataset=query.dataset, model=str(query.model).upper()
+        )
+        if stale_fp is None:
+            return None
+        try:
+            store, counter, meta = self.artifacts.load_sketch(stale_fp)
+        except ArtifactError:
+            self.stats.artifact_corrupt += 1
+            self._tel_inc("service.artifacts.corrupt")
+            return None
+        if counter is None:
+            counter = store.vertex_counts()
+        self.stats.artifact_loads += 1
+        self._tel_inc("service.artifacts.loads")
+        return CacheEntry(store=store, counter=counter, meta=meta)
 
     def _sync_cache_telemetry(self) -> None:
         tel = telemetry.get()

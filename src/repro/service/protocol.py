@@ -17,6 +17,9 @@ Wire format (one JSON document per line, both directions)::
 Responses mirror the query ``id`` (when given) and carry ``status`` of
 ``"ok"``, ``"timeout"`` (the per-query deadline expired — reported, never a
 hang), or ``"error"`` (typically a :class:`~repro.errors.ParameterError`).
+An ``"ok"`` response additionally carries ``degraded: true`` when the
+engine could not build the exact sketch the query asked for and served the
+freshest compatible stale artifact instead (docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -136,6 +139,7 @@ class IMResponse:
     coverage_fraction: float = 0.0
     num_rrrsets: int = 0
     cached: bool = False
+    degraded: bool = False
     latency_s: float = 0.0
     error: str | None = None
 
@@ -154,6 +158,7 @@ class IMResponse:
                 coverage_fraction=self.coverage_fraction,
                 num_rrrsets=self.num_rrrsets,
                 cached=self.cached,
+                degraded=self.degraded,
             )
         else:
             doc["error"] = self.error

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import BackendError, ParameterError
 from repro.runtime.atomic import AtomicCounterArray
+from repro.runtime.api import BackendConfig
 from repro.runtime.backends import MultiprocessBackend, SerialBackend, make_backend
 from repro.runtime.partition import (
     balanced_partition,
@@ -164,52 +165,52 @@ class TestAtomicCounterArray:
 
 class TestChunkedWorkQueue:
     def test_drains_everything_single_worker(self):
-        q = ChunkedWorkQueue(10, 1, chunk_size=3)
+        q = ChunkedWorkQueue(10, num_workers=1, chunk_size=3)
         got = []
         while (c := q.pop(0)) is not None:
             got.append(c)
         assert got == [(0, 3), (3, 6), (6, 9), (9, 10)]
 
     def test_own_queue_first(self):
-        q = ChunkedWorkQueue(8, 2, chunk_size=2)
+        q = ChunkedWorkQueue(8, num_workers=2, chunk_size=2)
         first = q.pop(1)
         assert first == (4, 6)  # worker 1's own block starts at chunk 2
 
     def test_stealing_when_empty(self):
-        q = ChunkedWorkQueue(8, 2, chunk_size=2)
+        q = ChunkedWorkQueue(8, num_workers=2, chunk_size=2)
         q.pop(0), q.pop(0)  # drain worker 0's two chunks
         stolen = q.pop(0)
         assert stolen is not None
         assert q.steals == 1
 
     def test_steal_takes_from_back(self):
-        q = ChunkedWorkQueue(8, 2, chunk_size=2)
+        q = ChunkedWorkQueue(8, num_workers=2, chunk_size=2)
         q.pop(0), q.pop(0)
         assert q.pop(0) == (6, 8)  # back of worker 1's queue
 
     def test_exhaustion_returns_none(self):
-        q = ChunkedWorkQueue(4, 2, chunk_size=2)
+        q = ChunkedWorkQueue(4, num_workers=2, chunk_size=2)
         for _ in range(2):
             q.pop(0)
         q.pop(1)
         assert q.pop(0) is None and q.pop(1) is None
 
     def test_remaining(self):
-        q = ChunkedWorkQueue(10, 2, chunk_size=5)
+        q = ChunkedWorkQueue(10, num_workers=2, chunk_size=5)
         assert q.remaining() == 2
         q.pop(0)
         assert q.remaining() == 1
 
     def test_rejects_bad_params(self):
         with pytest.raises(ParameterError):
-            ChunkedWorkQueue(10, 2, chunk_size=0)
+            ChunkedWorkQueue(10, num_workers=2, chunk_size=0)
         with pytest.raises(ParameterError):
-            ChunkedWorkQueue(10, 0)
+            ChunkedWorkQueue(10, num_workers=0)
 
     @given(st.integers(0, 200), st.integers(1, 8), st.integers(1, 16))
     @settings(max_examples=60, deadline=None)
     def test_every_item_dispatched_once(self, n, p, chunk):
-        q = ChunkedWorkQueue(n, p, chunk_size=chunk)
+        q = ChunkedWorkQueue(n, num_workers=p, chunk_size=chunk)
         seen = []
         w = 0
         while (c := q.pop(w % p)) is not None:
@@ -287,9 +288,9 @@ class TestBackends:
         b.close()
 
     def test_factory(self):
-        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend(BackendConfig(backend="serial")), SerialBackend)
         with pytest.raises(BackendError):
-            make_backend("gpu")
+            BackendConfig(backend="gpu")
 
     def test_rejects_zero_workers(self):
         with pytest.raises(BackendError):

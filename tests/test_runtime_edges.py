@@ -7,6 +7,7 @@ import pytest
 
 from repro import telemetry
 from repro.errors import BackendError
+from repro.runtime.api import BackendConfig
 from repro.runtime.backends import MultiprocessBackend, SerialBackend, make_backend
 from repro.runtime.workqueue import ChunkedWorkQueue, simulate_schedule
 
@@ -14,13 +15,13 @@ from repro.runtime.workqueue import ChunkedWorkQueue, simulate_schedule
 # ----------------------------------------------------------- workqueue edges
 class TestWorkQueueEdges:
     def test_empty_task_list(self):
-        q = ChunkedWorkQueue(0, 3, chunk_size=4)
+        q = ChunkedWorkQueue(0, num_workers=3, chunk_size=4)
         assert q.remaining() == 0
         assert q.pop(0) is None and q.pop(2) is None
         assert q.steals == 0 and q.pops == 0
 
     def test_single_task(self):
-        q = ChunkedWorkQueue(1, 4, chunk_size=8)
+        q = ChunkedWorkQueue(1, num_workers=4, chunk_size=8)
         assert q.remaining() == 1
         # Only worker 0's queue holds the lone chunk; any popper gets it.
         assert q.pop(3) == (0, 1)
@@ -29,7 +30,7 @@ class TestWorkQueueEdges:
         assert q.remaining() == 0
 
     def test_fewer_chunks_than_workers(self):
-        q = ChunkedWorkQueue(3, 8, chunk_size=2)
+        q = ChunkedWorkQueue(3, num_workers=8, chunk_size=2)
         got = [q.pop(w) for w in range(8)]
         ranges = [c for c in got if c is not None]
         assert sorted(ranges) == [(0, 2), (2, 3)]
@@ -37,7 +38,7 @@ class TestWorkQueueEdges:
     def test_task_raising_mid_queue_leaves_queue_consistent(self):
         """A consumer crashing mid-drain must not corrupt the queue: the
         remaining chunks stay poppable by other workers, exactly once."""
-        q = ChunkedWorkQueue(12, 2, chunk_size=2)
+        q = ChunkedWorkQueue(12, num_workers=2, chunk_size=2)
 
         def drain(worker, fail_after):
             done = []
@@ -117,12 +118,12 @@ class TestBackendEdges:
     def test_make_backend_validates_num_workers(self):
         for bad in (0, -1, -7):
             with pytest.raises(BackendError, match="num_workers"):
-                make_backend("serial", num_workers=bad)
+                make_backend(BackendConfig(backend="serial", num_workers=bad))
             with pytest.raises(BackendError, match="num_workers"):
-                make_backend("multiprocess", num_workers=bad)
+                make_backend(BackendConfig(backend="multiprocess", num_workers=bad))
         # None means "pick a default" and stays valid for both.
-        make_backend("serial", num_workers=None).close()
-        b = make_backend("multiprocess", num_workers=1)
+        make_backend(BackendConfig(backend="serial")).close()
+        b = make_backend(BackendConfig(backend="multiprocess", num_workers=1))
         assert b.num_workers == 1
         b.close()
 

@@ -340,7 +340,7 @@ class TestProtocol:
 # --------------------------------------------------------------------- engine
 @pytest.fixture(scope="module")
 def engine():
-    with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+    with QueryEngine(config=EngineConfig(default_theta=THETA)) as eng:
         yield eng
 
 
@@ -409,13 +409,13 @@ class TestQueryEngine:
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ParameterError, match="backend"):
-            QueryEngine(EngineConfig(backend="gpu"))
+            QueryEngine(config=EngineConfig(backend="gpu"))
 
 
 class TestEngineTelemetry:
     def test_warm_queries_skip_sampling(self):
         with telemetry.session() as tel:
-            with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+            with QueryEngine(config=EngineConfig(default_theta=THETA)) as eng:
                 eng.query(_q(k=4))
                 cold_spans = len(_spans(tel, "sampling.parallel_generate"))
                 assert cold_spans == 1
@@ -430,7 +430,7 @@ class TestEngineTelemetry:
 
     def test_latency_histogram_and_stat_gauges(self):
         with telemetry.session() as tel:
-            with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+            with QueryEngine(config=EngineConfig(default_theta=THETA)) as eng:
                 for k in (2, 3, 4):
                     assert eng.query(_q(k=k)).ok
             snap = tel.registry.snapshot()
@@ -443,10 +443,10 @@ class TestEngineTelemetry:
 class TestEnginePersistence:
     def test_artifact_warm_start_across_engines(self, tmp_path):
         cfg = EngineConfig(default_theta=THETA, artifact_dir=tmp_path)
-        with QueryEngine(cfg) as eng1:
+        with QueryEngine(config=cfg) as eng1:
             cold = eng1.query(_q(k=5))
             assert not cold.cached and eng1.stats.artifact_saves == 1
-        with QueryEngine(cfg) as eng2:  # fresh process-equivalent: empty cache
+        with QueryEngine(config=cfg) as eng2:  # fresh process-equivalent: empty cache
             warm = eng2.query(_q(k=5))
         assert warm.cached and warm.seeds == cold.seeds
         assert eng2.stats.cold_samples == 0
@@ -454,13 +454,13 @@ class TestEnginePersistence:
 
     def test_corrupt_artifact_falls_back_to_cold(self, tmp_path):
         cfg = EngineConfig(default_theta=THETA, artifact_dir=tmp_path)
-        with QueryEngine(cfg) as eng1:
+        with QueryEngine(config=cfg) as eng1:
             cold = eng1.query(_q(k=5))
         (art_file,) = tmp_path.glob("sketch-*.npz")
         raw = bytearray(art_file.read_bytes())
         raw[len(raw) // 2] ^= 0xFF
         art_file.write_bytes(bytes(raw))
-        with QueryEngine(cfg) as eng2:
+        with QueryEngine(config=cfg) as eng2:
             r = eng2.query(_q(k=5))
         assert r.ok and r.seeds == cold.seeds  # resampled deterministically
         assert eng2.stats.artifact_corrupt == 1
@@ -470,7 +470,7 @@ class TestEnginePersistence:
         cfg = EngineConfig(
             default_theta=THETA, artifact_dir=tmp_path, persist=False
         )
-        with QueryEngine(cfg) as eng:
+        with QueryEngine(config=cfg) as eng:
             assert eng.query(_q(k=3)).ok
         assert list(tmp_path.glob("sketch-*.npz")) == []
 
@@ -478,13 +478,13 @@ class TestEnginePersistence:
 class TestEngineEviction:
     def test_tiny_budget_evicts_without_corrupting(self):
         # Budget fits roughly one sketch: alternating datasets must evict.
-        with QueryEngine(EngineConfig(default_theta=THETA)) as probe:
+        with QueryEngine(config=EngineConfig(default_theta=THETA)) as probe:
             probe.query(_q(k=3))
             one_entry = probe.cache.current_bytes()
         cfg = EngineConfig(
             default_theta=THETA, cache_budget_bytes=int(one_entry * 1.5)
         )
-        with QueryEngine(cfg) as eng:
+        with QueryEngine(config=cfg) as eng:
             a1 = eng.query(_q("amazon", k=4))
             d1 = eng.query(_q("dblp", k=4))
             a2 = eng.query(_q("amazon", k=4))
@@ -496,7 +496,7 @@ class TestEngineEviction:
 
     def test_zero_budget_serves_cold_every_time(self):
         with QueryEngine(
-            EngineConfig(default_theta=THETA, cache_budget_bytes=0)
+            config=EngineConfig(default_theta=THETA, cache_budget_bytes=0)
         ) as eng:
             r1 = eng.query(_q(k=3))
             r2 = eng.query(_q(k=3))
@@ -517,7 +517,7 @@ class TestServingAcceptance:
             )
         ]
         with telemetry.session() as tel:
-            with QueryEngine(EngineConfig(default_theta=THETA)) as eng:
+            with QueryEngine(config=EngineConfig(default_theta=THETA)) as eng:
                 # Serving-loop style: one query per request, like `repro serve`.
                 responses = [eng.query(q) for q in queries]
             counters = tel.registry.snapshot()["counters"]
