@@ -209,12 +209,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="DIR", default=None,
         help="write DIR/metrics.json and DIR/trace.json at shutdown",
     )
+
+    update = sub.add_parser(
+        "update",
+        help="apply a JSON-lines graph-update stream with incremental "
+        "sketch repair (docs/dynamic.md)",
+    )
+    update.add_argument("dataset", help="dataset name, e.g. 'skitter'")
+    update.add_argument(
+        "--updates", metavar="FILE", default="-",
+        help="JSON-lines update stream (default: stdin)",
+    )
+    update.add_argument("--model", default="IC", choices=("IC", "LT"))
+    update.add_argument("--k", type=int, default=10,
+                        help="default seed budget for query ops without k")
+    update.add_argument("--epsilon", type=float, default=0.5)
+    update.add_argument("--seed", type=int, default=0)
+    update.add_argument(
+        "--theta-cap", type=int, default=2000,
+        help="number of RRR sets the maintained sketch holds",
+    )
+    update.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="invalidated fraction above which the sketch is fully "
+        "resampled instead of repaired",
+    )
+    update.add_argument(
+        "--repair", default="extend", choices=("extend", "resample"),
+        help="repair strategy for inserted edges under IC (docs/dynamic.md)",
+    )
+    update.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint the maintainer after every commit under DIR",
+    )
+    update.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest matching checkpoint (requires "
+        "--checkpoint); earlier commits are replayed graph-only",
+    )
+    update.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write DIR/metrics.json and DIR/trace.json at end of stream",
+    )
     return parser
+
+
+def command_help() -> dict[str, str]:
+    """Every CLI verb with its one-line help, read off the parser itself.
+
+    Deriving the listing from the parser (rather than a hand-maintained
+    table) is what keeps ``repro list`` from drifting when verbs are added;
+    a regression test asserts the listing matches ``main()``'s dispatch.
+    """
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return {
+                choice.dest: choice.help or "" for choice in action._choices_actions
+            }
+    raise AssertionError("parser has no subcommands")
 
 
 def _cmd_list() -> int:
     from repro.graph.datasets import dataset_names
 
+    print("commands:")
+    for verb, help_text in command_help().items():
+        print(f"  {verb:<16} {help_text}")
     print("experiments:", ", ".join(_EXPERIMENTS))
     print("datasets:   ", ", ".join(dataset_names()))
     return 0
@@ -563,6 +624,149 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+    from contextlib import ExitStack
+
+    from repro import load_dataset, telemetry
+    from repro.dynamic import DeltaGraph, DynamicService, IncrementalMaintainer
+    from repro.dynamic.updates import parse_update_line
+    from repro.errors import ParameterError
+    from repro.service.artifacts import read_artifact_meta
+
+    if args.resume and args.checkpoint is None:
+        raise ParameterError("--resume requires --checkpoint DIR")
+
+    graph = load_dataset(args.dataset, model=args.model, seed=args.seed)
+    delta = DeltaGraph(graph)
+    maintainer_kwargs = dict(
+        model=args.model,
+        num_sets=args.theta_cap,
+        seed=args.seed,
+        full_resample_threshold=args.threshold,
+        repair=args.repair,
+    )
+
+    # With --resume, commits up to the checkpointed epoch are replayed
+    # graph-only (no sampling); the maintainer is restored once the delta
+    # graph reaches that epoch.  Queries inside the replayed prefix were
+    # answered by the interrupted run, so they are skipped with a notice.
+    resume_epoch = 0
+    if args.resume:
+        probe = IncrementalMaintainer(delta, build=False, **maintainer_kwargs)
+        meta = read_artifact_meta(probe.checkpoint_path(args.checkpoint))
+        if meta is not None:
+            resume_epoch = int(meta.get("epoch", 0))
+
+    def make_service() -> DynamicService:
+        maintainer = None
+        if args.resume and resume_epoch > 0:
+            maintainer = IncrementalMaintainer.from_checkpoint(
+                args.checkpoint, delta, **maintainer_kwargs
+            )
+        return DynamicService(
+            args.dataset, delta=delta, maintainer=maintainer,
+            epsilon=args.epsilon, **maintainer_kwargs,
+        )
+
+    commits = 0
+    queries = 0
+    with ExitStack() as stack:
+        tel = stack.enter_context(telemetry.session())
+        service: DynamicService | None = None
+        if delta.epoch >= resume_epoch:
+            service = stack.enter_context(make_service())
+        stream = (
+            sys.stdin if args.updates == "-"
+            else stack.enter_context(open(args.updates))
+        )
+        for raw in stream:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            op = parse_update_line(line)
+            if op.kind == "update":
+                delta.stage(op.update)
+            elif op.kind == "commit":
+                if service is None:
+                    # Replay prefix: advance the graph without repairing.
+                    delta.commit()
+                    if delta.epoch >= resume_epoch:
+                        service = stack.enter_context(make_service())
+                    print(
+                        json.dumps(
+                            {"op": "commit", "epoch": delta.epoch,
+                             "mode": "replayed"}
+                        ),
+                        flush=True,
+                    )
+                else:
+                    report = service.commit()
+                    commits += 1
+                    if args.checkpoint is not None:
+                        service.maintainer.save_checkpoint(args.checkpoint)
+                    print(
+                        json.dumps({"op": "commit", **report.to_dict()},
+                                   default=float),
+                        flush=True,
+                    )
+            elif op.kind == "query":
+                if service is None:
+                    print(
+                        json.dumps(
+                            {"status": "skipped", "id": op.id,
+                             "reason": "resume-replay"}
+                        ),
+                        flush=True,
+                    )
+                    continue
+                resp = service.query(
+                    op.k if op.k is not None else args.k,
+                    deadline_s=op.deadline_s, id=op.id,
+                )
+                queries += 1
+                print(resp.to_json(), flush=True)
+            else:  # stats
+                if service is None:
+                    print(
+                        json.dumps(
+                            {"status": "skipped", "reason": "resume-replay"}
+                        ),
+                        flush=True,
+                    )
+                    continue
+                print(
+                    json.dumps(
+                        {"status": "ok", "op": "stats",
+                         **service.stats_snapshot()},
+                        default=float,
+                    ),
+                    flush=True,
+                )
+        if delta.pending_count:
+            print(
+                f"warning: {delta.pending_count} staged update(s) were never "
+                "committed and are discarded",
+                file=sys.stderr,
+            )
+        if args.telemetry is not None:
+            paths = telemetry.write_report(
+                args.telemetry, tel,
+                run={"command": "update", "dataset": args.dataset,
+                     "commits": commits, "queries": queries},
+            )
+            print(
+                f"telemetry: {paths['metrics']} {paths['trace']}",
+                file=sys.stderr,
+            )
+    print(
+        f"update stream done: epoch {delta.epoch}, {commits} commit(s), "
+        f"{queries} query(ies)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.errors import ReproError
 
@@ -578,6 +782,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": lambda: _cmd_validate(args),
         "query": lambda: _cmd_query(args),
         "serve": lambda: _cmd_serve(args),
+        "update": lambda: _cmd_update(args),
     }
     cmd = dispatch.get(args.command)
     if cmd is None:

@@ -1,0 +1,343 @@
+"""``DeltaGraph``: a mutable, epoch-numbered overlay over :class:`CSRGraph`.
+
+The static pipeline treats the graph as frozen; a live deployment sees a
+stream of edge **inserts**, **deletes**, and **reweights**.  ``DeltaGraph``
+holds the current edge set as one sorted ``int64`` key array
+(``src * n + dst``) with an aligned probability array — the COO twin of the
+CSR layout — so a batch of updates is a handful of vectorised merge/mask
+operations, and :meth:`compact` rebuilds a :class:`CSRGraph` in O(m)
+without re-running the builder.
+
+Updates are **staged** (:meth:`stage` / :meth:`insert` / :meth:`delete` /
+:meth:`reweight`) and then applied atomically by :meth:`commit`, which bumps
+the epoch and returns a :class:`CommitInfo` describing the *net* effect of
+the batch relative to the previous epoch — exactly the provenance the
+incremental maintainer needs (which destination endpoints were perturbed,
+and how).  Within a batch, ops are resolved sequentially: inserting an edge
+that exists acts as a reweight, deleting or reweighting a missing edge is
+counted in ``CommitInfo.ignored`` rather than erroring (streams routinely
+carry such no-ops), and an insert+delete pair cancels out.
+
+Epoch numbering starts at 0 (the base graph); each commit increments it.
+``compact()`` is cached per epoch, and :meth:`fingerprint` is the ordinary
+graph fingerprint of the compacted CSR — so the serving layer's
+fingerprint-keyed caches version themselves for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, PROB_DTYPE, VERTEX_DTYPE
+
+__all__ = ["EdgeUpdate", "CommitInfo", "DeltaGraph"]
+
+#: The three update verbs of the stream grammar (docs/dynamic.md).
+UPDATE_OPS = ("insert", "delete", "reweight")
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One staged edge operation.
+
+    ``prob`` is required for ``insert``/``reweight`` and must be absent for
+    ``delete``; validation happens in :meth:`DeltaGraph.stage` so updates
+    parsed from a wire stream fail with :class:`ParameterError` (exit 2).
+    """
+
+    op: str
+    src: int
+    dst: int
+    prob: float | None = None
+
+
+@dataclass(frozen=True)
+class CommitInfo:
+    """Net effect of one committed batch, relative to the previous epoch.
+
+    All arrays are aligned per category; ``inserted``/``deleted``/
+    ``reweighted`` hold ``(src, dst)`` int32 pairs as ``(k, 2)`` arrays.
+    ``ignored`` counts deletes/reweights of absent edges plus staged ops
+    whose net effect cancelled out (e.g. insert then delete).
+    """
+
+    epoch: int
+    inserted: np.ndarray  # (k, 2) int32
+    inserted_probs: np.ndarray  # (k,) float64
+    deleted: np.ndarray  # (k, 2) int32
+    reweighted: np.ndarray  # (k, 2) int32
+    reweighted_probs: np.ndarray  # (k,) float64
+    ignored: int
+
+    @property
+    def num_changes(self) -> int:
+        return int(
+            self.inserted.shape[0]
+            + self.deleted.shape[0]
+            + self.reweighted.shape[0]
+        )
+
+    def structural_dsts(self) -> np.ndarray:
+        """Unique destinations of deleted + reweighted edges — the endpoints
+        whose realised reverse-BFS coins an update may contradict."""
+        parts = [self.deleted[:, 1], self.reweighted[:, 1]]
+        return np.unique(np.concatenate(parts)).astype(np.int64)
+
+    def all_dsts(self) -> np.ndarray:
+        """Unique destinations across every change category."""
+        parts = [self.inserted[:, 1], self.deleted[:, 1], self.reweighted[:, 1]]
+        return np.unique(np.concatenate(parts)).astype(np.int64)
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "inserted": int(self.inserted.shape[0]),
+            "deleted": int(self.deleted.shape[0]),
+            "reweighted": int(self.reweighted.shape[0]),
+            "ignored": self.ignored,
+        }
+
+
+class DeltaGraph:
+    """Mutable edge-set overlay with batched commits and epoch numbering."""
+
+    def __init__(self, base: CSRGraph):
+        self.num_vertices = int(base.num_vertices)
+        n = self.num_vertices
+        src, dst, probs = base.edge_array()
+        keys = src.astype(np.int64) * n + dst.astype(np.int64)
+        if keys.size and np.any(np.diff(keys) <= 0):
+            # Canonicalise: sort rows by destination and drop duplicate
+            # edges keeping the first occurrence (the builder's policy).
+            order = np.argsort(keys, kind="stable")
+            keys, probs = keys[order], probs[order]
+            keep = np.concatenate(([True], np.diff(keys) > 0))
+            keys, probs = keys[keep], probs[keep]
+        self._keys = np.ascontiguousarray(keys, dtype=np.int64)
+        self._probs = np.ascontiguousarray(probs, dtype=PROB_DTYPE)
+        self.epoch = 0
+        self._pending: list[EdgeUpdate] = []
+        self._compact_cache: tuple[int, CSRGraph] | None = None
+        self.base_fingerprint = self.fingerprint()
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def num_edges(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _key_of(self, src: int, dst: int) -> int:
+        return int(src) * self.num_vertices + int(dst)
+
+    def _find(self, key: int) -> int:
+        """Index of ``key`` in the sorted key array, or -1."""
+        i = int(np.searchsorted(self._keys, key))
+        if i < self._keys.size and self._keys[i] == key:
+            return i
+        return -1
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return self._find(self._key_of(src, dst)) >= 0
+
+    def prob(self, src: int, dst: int) -> float | None:
+        """Current probability of edge ``(src, dst)``, or ``None``."""
+        i = self._find(self._key_of(src, dst))
+        return float(self._probs[i]) if i >= 0 else None
+
+    # --------------------------------------------------------------- staging
+    def stage(self, update: EdgeUpdate) -> None:
+        """Validate and queue one update for the next :meth:`commit`."""
+        n = self.num_vertices
+        if update.op not in UPDATE_OPS:
+            raise ParameterError(
+                f"unknown update op {update.op!r} (use one of {UPDATE_OPS})"
+            )
+        for name, v in (("src", update.src), ("dst", update.dst)):
+            if not isinstance(v, (int, np.integer)) or not (0 <= v < n):
+                raise ParameterError(
+                    f"update {name}={v!r} out of vertex range [0, {n})"
+                )
+        if update.src == update.dst:
+            raise ParameterError(
+                f"self-loop update ({update.src}, {update.dst}) rejected: "
+                "self-loops carry no influence (the graph builder drops them)"
+            )
+        if update.op == "delete":
+            if update.prob is not None:
+                raise ParameterError("delete must not carry a 'prob' field")
+        else:
+            if update.prob is None:
+                raise ParameterError(f"{update.op} requires a 'prob' field")
+            p = float(update.prob)
+            if not (0.0 <= p <= 1.0):
+                raise ParameterError(
+                    f"edge probability must lie in [0, 1], got {update.prob!r}"
+                )
+        self._pending.append(update)
+
+    def stage_many(self, updates: Iterable[EdgeUpdate]) -> None:
+        for u in updates:
+            self.stage(u)
+
+    def insert(self, src: int, dst: int, prob: float) -> None:
+        self.stage(EdgeUpdate("insert", int(src), int(dst), float(prob)))
+
+    def delete(self, src: int, dst: int) -> None:
+        self.stage(EdgeUpdate("delete", int(src), int(dst)))
+
+    def reweight(self, src: int, dst: int, prob: float) -> None:
+        self.stage(EdgeUpdate("reweight", int(src), int(dst), float(prob)))
+
+    # ---------------------------------------------------------------- commit
+    def commit(self) -> CommitInfo:
+        """Apply every staged update atomically; bump the epoch.
+
+        Raises :class:`ParameterError` when nothing is staged (an empty
+        commit would create an epoch indistinguishable from its parent).
+        """
+        if not self._pending:
+            raise ParameterError("commit with no staged updates")
+        n = self.num_vertices
+        # Sequentially resolve the batch into a net disposition per touched
+        # key: eff[key] = final prob (or None = absent).
+        eff: dict[int, float | None] = {}
+        ignored = 0
+        for u in self._pending:
+            key = self._key_of(u.src, u.dst)
+            if key in eff:
+                present = eff[key] is not None
+            else:
+                present = self._find(key) >= 0
+            if u.op == "delete":
+                if present:
+                    eff[key] = None
+                else:
+                    ignored += 1
+            elif u.op == "reweight":
+                if present:
+                    eff[key] = float(u.prob)  # type: ignore[arg-type]
+                else:
+                    ignored += 1
+            else:  # insert; inserting an existing edge reweights it
+                eff[key] = float(u.prob)  # type: ignore[arg-type]
+        self._pending.clear()
+
+        ins_k: list[int] = []
+        ins_p: list[float] = []
+        del_k: list[int] = []
+        rew_k: list[int] = []
+        rew_p: list[float] = []
+        for key, p in eff.items():
+            i = self._find(key)
+            if i < 0:
+                if p is None:
+                    ignored += 1  # e.g. insert then delete: net no-op
+                else:
+                    ins_k.append(key)
+                    ins_p.append(p)
+            else:
+                if p is None:
+                    del_k.append(key)
+                elif p != float(self._probs[i]):
+                    rew_k.append(key)
+                    rew_p.append(p)
+                else:
+                    ignored += 1  # reweight to the identical probability
+
+        keys, probs = self._keys, self._probs
+        if rew_k:
+            rk = np.array(sorted(rew_k), dtype=np.int64)
+            rp = np.array(
+                [dict(zip(rew_k, rew_p))[k] for k in rk], dtype=PROB_DTYPE
+            )
+            probs = probs.copy()
+            probs[np.searchsorted(keys, rk)] = rp
+        if del_k:
+            dk = np.array(sorted(del_k), dtype=np.int64)
+            mask = np.ones(keys.size, dtype=bool)
+            mask[np.searchsorted(keys, dk)] = False
+            keys, probs = keys[mask], probs[mask]
+        if ins_k:
+            order = np.argsort(np.array(ins_k, dtype=np.int64))
+            ik = np.array(ins_k, dtype=np.int64)[order]
+            ip = np.array(ins_p, dtype=PROB_DTYPE)[order]
+            pos = np.searchsorted(keys, ik)
+            keys = np.insert(keys, pos, ik)
+            probs = np.insert(probs, pos, ip)
+        self._keys, self._probs = keys, probs
+        self.epoch += 1
+        self._compact_cache = None
+
+        def pairs(ks: list[int]) -> np.ndarray:
+            arr = np.array(sorted(ks), dtype=np.int64).reshape(-1)
+            out = np.empty((arr.size, 2), dtype=VERTEX_DTYPE)
+            out[:, 0] = arr // n
+            out[:, 1] = arr % n
+            return out
+
+        ins_sorted = sorted(range(len(ins_k)), key=lambda j: ins_k[j])
+        rew_sorted = sorted(range(len(rew_k)), key=lambda j: rew_k[j])
+        return CommitInfo(
+            epoch=self.epoch,
+            inserted=pairs(ins_k),
+            inserted_probs=np.array(
+                [ins_p[j] for j in ins_sorted], dtype=PROB_DTYPE
+            ),
+            deleted=pairs(del_k),
+            reweighted=pairs(rew_k),
+            reweighted_probs=np.array(
+                [rew_p[j] for j in rew_sorted], dtype=PROB_DTYPE
+            ),
+            ignored=ignored,
+        )
+
+    def apply_batch(self, updates: Iterable[EdgeUpdate]) -> CommitInfo:
+        """Stage + commit in one call (the programmatic convenience path)."""
+        self.stage_many(updates)
+        return self.commit()
+
+    # --------------------------------------------------------------- compact
+    def compact(self) -> CSRGraph:
+        """The current epoch as an immutable :class:`CSRGraph` (cached).
+
+        Direct CSR assembly from the sorted key array: one ``bincount`` for
+        the row pointer, two modulo passes for the columns — no builder
+        round-trip, and rows come out sorted by destination.
+        """
+        if self._compact_cache is not None and self._compact_cache[0] == self.epoch:
+            return self._compact_cache[1]
+        n = self.num_vertices
+        if n == 0:
+            graph = CSRGraph(
+                0,
+                np.zeros(1, dtype=OFFSET_DTYPE),
+                np.empty(0, dtype=VERTEX_DTYPE),
+                np.empty(0, dtype=PROB_DTYPE),
+            )
+        else:
+            src = (self._keys // n).astype(np.int64)
+            counts = np.bincount(src, minlength=n).astype(OFFSET_DTYPE)
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            indices = (self._keys % n).astype(VERTEX_DTYPE)
+            graph = CSRGraph(n, indptr, indices, self._probs.copy())
+        self._compact_cache = (self.epoch, graph)
+        return graph
+
+    def fingerprint(self) -> str:
+        """Graph fingerprint of the current epoch's compacted CSR."""
+        from repro.graph.io import graph_fingerprint
+
+        return graph_fingerprint(self.compact())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaGraph(n={self.num_vertices:,}, m={self.num_edges:,}, "
+            f"epoch={self.epoch}, pending={len(self._pending)})"
+        )

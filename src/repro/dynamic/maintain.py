@@ -1,0 +1,486 @@
+"""Incremental RRR-sketch maintenance over a :class:`DeltaGraph`.
+
+The whole design rests on one property of reverse influence sampling: a
+reverse BFS/walk only ever examines an in-edge ``(u, v)`` *after visiting
+its destination* ``v``.  An RRR set that does not contain ``v`` therefore
+never looked at that edge — its realised trajectory is identical under the
+old and new graph, and the set can be kept verbatim.  That is the
+provenance rule :meth:`FlatRRRStore.sets_containing` answers, and it is
+what keeps a small update batch from invalidating the whole sketch.
+
+Per update kind (IC, ``repair="extend"``, the default):
+
+- **delete / reweight** of ``(u, v)``: every set containing ``v`` may have
+  realised a coin the new graph contradicts, so those sets are *resampled*
+  from their original roots through the existing sampling kernel
+  (:func:`~repro.core.sampling.reverse_sample_with_cost`).
+- **insert** of ``(u, v)`` with probability ``p``: sets containing ``v``
+  are *extended* instead of resampled — the new edge's coin was simply
+  never flipped, so we flip it now (probability ``p``) and, on success,
+  continue the reverse BFS from ``u`` with the existing members pre-seeded
+  as visited.  Edges of already-visited vertices keep their realised
+  outcomes; edges of newly reached vertices get fresh coins, including
+  other edges inserted in the same batch.  This deferred-decision coupling
+  is distribution-exact and turns the dominant update kind of a growing
+  graph into cheap repairs that do **not** count against the resample
+  budget.
+
+``repair="resample"`` (and the LT model always, since any in-row change
+reshapes a vertex's whole walk distribution) skips the extension path and
+resamples every set containing the destination of *any* update.
+
+Resampling keeps each set's original root (roots are uniform draws,
+independent of the graph) and replaces its vertices in place via
+:meth:`FlatRRRStore.replace_sets`; the fused selection counter is patched
+with two ``bincount`` passes (subtract old members, add new) rather than
+rebuilt — the dynamic analogue of EfficientIMM's fused counter updates.
+When the invalidated fraction exceeds ``full_resample_threshold`` the
+maintainer falls back to a full resample of the sketch (fresh roots, same
+RNG stream), which is cheaper than patching almost everything.
+
+Statistical note (docs/dynamic.md): keeping the sets that provably did not
+observe a structural change conditions them on that event; the resampled
+sets are fresh unconditional draws.  The repaired sketch is therefore not
+a perfectly i.i.d. sample of the new graph's RRR distribution — the
+deviation only affects the correlation between membership of the updated
+endpoints and the rest of each set, and the ``bench_dynamic.py`` quality
+gate bounds its effect on seed quality (spread within tolerance of a full
+recompute).  The insert extension path carries no such caveat.
+
+Everything is deterministic in ``(seed, update stream)``: sets are
+resampled in ascending index order and extension coins are drawn in batch
+order, so the same stream yields a byte-identical repaired store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import telemetry
+from repro._util import as_rng
+from repro.core.sampling import reverse_sample_with_cost
+from repro.core.selection import SelectionResult, efficient_select
+from repro.diffusion.base import get_model
+from repro.errors import ArtifactError, ParameterError
+from repro.sketch.store import FlatRRRStore
+
+from repro.dynamic.delta import CommitInfo, DeltaGraph
+
+__all__ = ["IncrementalMaintainer", "RepairReport"]
+
+#: Version of the dynamic checkpoint metadata layered on the artifact schema.
+DYNAMIC_CHECKPOINT_VERSION = 1
+
+_REPAIR_MODES = ("extend", "resample")
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one :meth:`IncrementalMaintainer.apply` call did."""
+
+    epoch: int
+    mode: str  # "repair" | "full"
+    num_sets: int
+    invalidated: int  # sets that had to be resampled
+    extended: int  # sets repaired by the insert extension path
+    invalidated_fraction: float
+    added_vertices: int  # entries appended by extensions
+    inserted: int
+    deleted: int
+    reweighted: int
+    ignored: int
+    elapsed_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "mode": self.mode,
+            "num_sets": self.num_sets,
+            "invalidated": self.invalidated,
+            "extended": self.extended,
+            "invalidated_fraction": self.invalidated_fraction,
+            "added_vertices": self.added_vertices,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "reweighted": self.reweighted,
+            "ignored": self.ignored,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class IncrementalMaintainer:
+    """Keeps one RRR sketch (store + fused counter + roots) current with a
+    :class:`DeltaGraph`, one committed epoch at a time."""
+
+    def __init__(
+        self,
+        delta: DeltaGraph,
+        *,
+        model: str = "IC",
+        num_sets: int = 1000,
+        seed: int = 0,
+        full_resample_threshold: float = 0.25,
+        repair: str = "extend",
+        build: bool = True,
+    ):
+        if num_sets < 1:
+            raise ParameterError(f"num_sets must be >= 1, got {num_sets}")
+        if not (0.0 < full_resample_threshold <= 1.0):
+            raise ParameterError(
+                "full_resample_threshold must lie in (0, 1], got "
+                f"{full_resample_threshold}"
+            )
+        if repair not in _REPAIR_MODES:
+            raise ParameterError(
+                f"repair must be one of {_REPAIR_MODES}, got {repair!r}"
+            )
+        if delta.num_vertices == 0:
+            raise ParameterError("cannot maintain a sketch of an empty graph")
+        self.delta = delta
+        self.model_name = str(model).upper()
+        self.num_sets = int(num_sets)
+        self.seed = int(seed)
+        self.full_resample_threshold = float(full_resample_threshold)
+        self.repair = repair
+        self.rng = as_rng(self.seed)
+        self.store = FlatRRRStore(delta.num_vertices, sort_sets=True)
+        self.roots = np.empty(self.num_sets, dtype=np.int64)
+        self.counter = np.zeros(delta.num_vertices, dtype=np.int64)
+        self.epoch = -1  # no sketch yet
+        if build:
+            self._build_full()
+
+    # ------------------------------------------------------------- building
+    def _sample_set(self, model, root: int) -> np.ndarray:
+        verts, _cost = reverse_sample_with_cost(model, int(root), self.rng)
+        return verts
+
+    def _build_full(self) -> None:
+        """(Re)build the whole sketch against the current delta epoch,
+        drawing fresh roots from the maintainer's RNG stream."""
+        model = get_model(self.model_name, self.delta.compact())
+        n = self.delta.num_vertices
+        store = FlatRRRStore(n, sort_sets=True)
+        for i in range(self.num_sets):
+            root = int(self.rng.integers(0, n))
+            self.roots[i] = root
+            store.append(self._sample_set(model, root))
+        self.store = store.trim()
+        self.counter = self.store.vertex_counts()
+        self.epoch = self.delta.epoch
+
+    # -------------------------------------------------------------- repairs
+    def apply(self, commit: CommitInfo) -> RepairReport:
+        """Bring the sketch from epoch ``commit.epoch - 1`` to
+        ``commit.epoch``; returns a :class:`RepairReport`.
+
+        Commits must be applied in order — a gap means some epoch's changes
+        would silently go unrepaired, so it raises :class:`ParameterError`.
+        """
+        if commit.epoch != self.epoch + 1:
+            raise ParameterError(
+                f"commit epoch {commit.epoch} does not follow sketch epoch "
+                f"{self.epoch}; apply commits in order"
+            )
+        if self.delta.epoch < commit.epoch:
+            raise ParameterError(
+                f"delta graph is at epoch {self.delta.epoch}; commit the "
+                "batch before applying it to the sketch"
+            )
+        tel = telemetry.get()
+        t0 = time.perf_counter()
+
+        use_extension = self.repair == "extend" and self.model_name == "IC"
+        structural = (
+            commit.structural_dsts() if use_extension else commit.all_dsts()
+        )
+        invalidated = self._sets_containing_any(structural)
+        fraction = invalidated.size / self.num_sets
+
+        with tel.span(
+            "dynamic.apply", epoch=commit.epoch, invalidated=int(invalidated.size)
+        ):
+            if fraction > self.full_resample_threshold:
+                self._build_full()
+                mode = "full"
+                extended_sets = 0
+                added = 0
+                invalidated_count = self.num_sets
+            else:
+                model = get_model(self.model_name, self.delta.compact())
+                self._resample_sets(model, invalidated)
+                if use_extension and commit.inserted.shape[0]:
+                    extended_sets, added = self._extend_sets(
+                        model, commit, exclude=invalidated
+                    )
+                else:
+                    extended_sets, added = 0, 0
+                mode = "repair"
+                invalidated_count = int(invalidated.size)
+                self.epoch = commit.epoch
+
+        elapsed = time.perf_counter() - t0
+        report = RepairReport(
+            epoch=commit.epoch,
+            mode=mode,
+            num_sets=self.num_sets,
+            invalidated=invalidated_count,
+            extended=extended_sets,
+            invalidated_fraction=float(fraction),
+            added_vertices=added,
+            inserted=int(commit.inserted.shape[0]),
+            deleted=int(commit.deleted.shape[0]),
+            reweighted=int(commit.reweighted.shape[0]),
+            ignored=commit.ignored,
+            elapsed_s=elapsed,
+        )
+        self._record_telemetry(report)
+        return report
+
+    def _sets_containing_any(self, dsts: np.ndarray) -> np.ndarray:
+        """Sorted unique indices of sets containing any of ``dsts``."""
+        if dsts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        hits = [self.store.sets_containing(int(v)) for v in dsts]
+        return np.unique(np.concatenate(hits))
+
+    def _resample_sets(self, model, indices: np.ndarray) -> None:
+        """Redraw the given sets from their original roots on the current
+        graph, patching the fused counter in place."""
+        if indices.size == 0:
+            return
+        old = np.concatenate([self.store.get(int(i)) for i in indices])
+        fresh = [
+            self._sample_set(model, int(self.roots[int(i)])) for i in indices
+        ]
+        self.store.replace_sets(indices, fresh)
+        self.counter -= np.bincount(old, minlength=self.delta.num_vertices)
+        self.counter += np.bincount(
+            np.concatenate(fresh).astype(np.int64),
+            minlength=self.delta.num_vertices,
+        )
+
+    def _extend_sets(
+        self, model, commit: CommitInfo, exclude: np.ndarray
+    ) -> tuple[int, int]:
+        """Couple inserted edges into the surviving sets (IC only).
+
+        For each set containing an inserted edge's destination (and not
+        already resampled), flip the edge's coin; on success run the
+        reverse BFS from the source with the set pre-seeded as visited.
+        Returns ``(sets_extended, vertices_added)``.
+        """
+        from repro.diffusion.ic import gather_frontier_edges
+
+        ins_src = commit.inserted[:, 0].astype(np.int64)
+        ins_dst = commit.inserted[:, 1].astype(np.int64)
+        ins_prob = commit.inserted_probs
+        affected = self._sets_containing_any(np.unique(ins_dst))
+        if exclude.size:
+            affected = np.setdiff1d(affected, exclude, assume_unique=True)
+        if affected.size == 0:
+            return 0, 0
+
+        rev = model.reverse_graph
+        stamp = model._stamp
+        extended_idx: list[int] = []
+        extended_sets: list[np.ndarray] = []
+        added_total = 0
+        for i in affected:
+            members = self.store.get(int(i))  # sorted (sort_sets=True)
+            # Inserted edges whose coin is now decidable: dst inside the
+            # set, src outside (src inside adds nothing to the closure).
+            pos = np.searchsorted(members, ins_dst)
+            dst_in = (pos < members.size) & (members[np.minimum(pos, members.size - 1)] == ins_dst)
+            pos_s = np.searchsorted(members, ins_src)
+            src_in = (pos_s < members.size) & (members[np.minimum(pos_s, members.size - 1)] == ins_src)
+            cand = np.flatnonzero(dst_in & ~src_in)
+            if cand.size == 0:
+                continue
+            live = self.rng.random(cand.size) < ins_prob[cand]
+            frontier = np.unique(ins_src[cand[live]])
+            if frontier.size == 0:
+                continue
+            epoch = model._next_epoch()
+            stamp[members] = epoch
+            stamp[frontier] = epoch
+            new_parts: list[np.ndarray] = [frontier.astype(np.int32)]
+            while frontier.size:
+                nbrs, probs = gather_frontier_edges(rev, frontier)
+                if nbrs.size == 0:
+                    break
+                hit = self.rng.random(nbrs.size) < probs
+                cand_v = nbrs[hit]
+                if cand_v.size == 0:
+                    break
+                cand_v = np.unique(cand_v)
+                fresh = cand_v[stamp[cand_v] != epoch]
+                if fresh.size == 0:
+                    break
+                stamp[fresh] = epoch
+                new_parts.append(fresh.astype(np.int32))
+                frontier = fresh.astype(np.int64)
+            added = np.concatenate(new_parts)
+            extended_idx.append(int(i))
+            extended_sets.append(np.concatenate([members, added]))
+            added_total += int(added.size)
+            self.counter += np.bincount(
+                added.astype(np.int64), minlength=self.delta.num_vertices
+            )
+        if extended_idx:
+            self.store.replace_sets(
+                np.array(extended_idx, dtype=np.int64), extended_sets
+            )
+        return len(extended_idx), added_total
+
+    def _record_telemetry(self, report: RepairReport) -> None:
+        tel = telemetry.get()
+        if not tel.enabled:
+            return
+        reg = tel.registry
+        reg.counter("dynamic.commits").inc()
+        if report.mode == "full":
+            reg.counter("dynamic.full_resamples").inc()
+            reg.histogram("dynamic.full_resample_s").observe(report.elapsed_s)
+        else:
+            reg.counter("dynamic.repairs").inc()
+            reg.histogram("dynamic.repair_s").observe(report.elapsed_s)
+        reg.counter("dynamic.sets_resampled").inc(report.invalidated)
+        reg.counter("dynamic.sets_extended").inc(report.extended)
+        reg.counter("dynamic.updates.inserted").inc(report.inserted)
+        reg.counter("dynamic.updates.deleted").inc(report.deleted)
+        reg.counter("dynamic.updates.reweighted").inc(report.reweighted)
+        reg.counter("dynamic.updates.ignored").inc(report.ignored)
+        reg.gauge("dynamic.invalidated_fraction").set(
+            report.invalidated_fraction
+        )
+        reg.gauge("dynamic.epoch").set(report.epoch)
+
+    # ------------------------------------------------------------- selection
+    def select(self, k: int, num_threads: int = 1) -> SelectionResult:
+        """Greedy seed selection on the current sketch, warm-started from
+        the maintained fused counter."""
+        return efficient_select(
+            self.store, k, num_threads, initial_counter=self.counter
+        )
+
+    # ----------------------------------------------------------- checkpoints
+    def checkpoint_key(self) -> str:
+        """Fingerprint of this maintainer's *configuration* (not its state):
+        base graph + model + sketch shape + seed + repair policy.  Two
+        maintainers share a key iff replaying the same update stream yields
+        identical sketches."""
+        key = ":".join(
+            (
+                self.delta.base_fingerprint,
+                self.model_name,
+                str(self.num_sets),
+                str(self.seed),
+                f"{self.full_resample_threshold:.12g}",
+                self.repair,
+            )
+        )
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def checkpoint_path(self, root: str | os.PathLike) -> Path:
+        return Path(root) / f"dynamic-{self.checkpoint_key()}.npz"
+
+    def save_checkpoint(self, root: str | os.PathLike) -> Path:
+        """Snapshot the full maintainer state (store, counter, roots, RNG,
+        epoch) as one checksummed artifact, written atomically."""
+        from repro.service.artifacts import save_store
+
+        final = self.checkpoint_path(root)
+        tmp = final.with_name(final.stem + ".tmp.npz")
+        meta: dict[str, Any] = {
+            "dynamic_checkpoint_version": DYNAMIC_CHECKPOINT_VERSION,
+            "epoch": int(self.epoch),
+            "graph_fp": self.delta.fingerprint(),
+            "base_fp": self.delta.base_fingerprint,
+            "model": self.model_name,
+            "num_sets": self.num_sets,
+            "seed": self.seed,
+            "full_resample_threshold": self.full_resample_threshold,
+            "repair": self.repair,
+            "roots": [int(r) for r in self.roots],
+            "rng_state": self.rng.bit_generator.state,
+        }
+        save_store(
+            self.store,
+            tmp,
+            fingerprint=self.checkpoint_key(),
+            counter=self.counter,
+            meta=meta,
+            compress=False,  # rolling snapshot: trade disk for write speed
+        )
+        os.replace(tmp, final)
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("dynamic.checkpoints_written").inc()
+        return final
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        root: str | os.PathLike,
+        delta: DeltaGraph,
+        *,
+        model: str = "IC",
+        num_sets: int = 1000,
+        seed: int = 0,
+        full_resample_threshold: float = 0.25,
+        repair: str = "extend",
+    ) -> "IncrementalMaintainer":
+        """Restore a maintainer whose sketch matches ``delta``'s epoch.
+
+        ``delta`` must already be replayed to the checkpointed epoch — the
+        checkpoint stores the graph fingerprint it was taken at and refuses
+        (:class:`ArtifactError`) to resume against any other graph, since a
+        silently mismatched sketch would produce wrong seeds.
+        """
+        from repro.service.artifacts import load_store
+
+        m = cls(
+            delta,
+            model=model,
+            num_sets=num_sets,
+            seed=seed,
+            full_resample_threshold=full_resample_threshold,
+            repair=repair,
+            build=False,
+        )
+        path = m.checkpoint_path(root)
+        store, counter, meta = load_store(
+            path, expect_fingerprint=m.checkpoint_key()
+        )
+        if meta.get("dynamic_checkpoint_version") != DYNAMIC_CHECKPOINT_VERSION:
+            raise ArtifactError(
+                f"{path}: unsupported dynamic checkpoint version "
+                f"{meta.get('dynamic_checkpoint_version')!r}"
+            )
+        if meta.get("graph_fp") != delta.fingerprint():
+            raise ArtifactError(
+                f"{path}: checkpoint was taken at epoch {meta.get('epoch')} "
+                f"of a graph with fingerprint {meta.get('graph_fp')!r}, but "
+                f"the delta graph (epoch {delta.epoch}) fingerprints as "
+                f"{delta.fingerprint()!r}; replay the update stream to the "
+                "checkpointed epoch before resuming"
+            )
+        m.store = store
+        m.counter = (
+            counter if counter is not None else store.vertex_counts()
+        ).astype(np.int64)
+        m.roots = np.array(meta["roots"], dtype=np.int64)
+        m.rng.bit_generator.state = meta["rng_state"]
+        m.epoch = int(meta["epoch"])
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("dynamic.checkpoints_restored").inc()
+        return m

@@ -1,0 +1,227 @@
+"""Epoch-aware serving: a :class:`DynamicService` in front of the engine.
+
+The service owns one :class:`DeltaGraph` + :class:`IncrementalMaintainer`
+pair and *publishes* each successfully repaired epoch into a
+:class:`~repro.service.engine.QueryEngine`:
+
+- the compacted graph is installed under the service's dataset name
+  (:meth:`QueryEngine.install_graph`), overriding replica-dataset loading;
+- the repaired sketch is warmed into the engine cache under its epoch's
+  sketch fingerprint (:meth:`QueryEngine.warm`).
+
+Because sketch fingerprints hash the *graph* fingerprint, every epoch gets
+its own cache key automatically — stale epochs simply stop being addressed
+and age out of the LRU.  Queries are answered from the newest *published*
+epoch; when a repair fails mid-stream the delta graph may run ahead of the
+sketch, and the service keeps serving the last good epoch with
+``degraded: true`` on the response (the same disclosure the engine uses
+for stale-artifact fallback) plus the ``dynamic.epoch_staleness`` gauge /
+``dynamic.stale_queries`` counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro import telemetry
+from repro.errors import ParameterError, ReproError
+from repro.graph.csr import CSRGraph
+from repro.service.artifacts import sketch_fingerprint
+from repro.service.engine import EngineConfig, QueryEngine
+from repro.service.protocol import IMQuery, IMResponse
+from repro.sketch.store import FlatRRRStore
+
+from repro.dynamic.delta import DeltaGraph, EdgeUpdate
+from repro.dynamic.maintain import IncrementalMaintainer, RepairReport
+
+__all__ = ["DynamicService"]
+
+
+class DynamicService:
+    """Streaming updates + versioned query serving over one dynamic graph."""
+
+    def __init__(
+        self,
+        dataset: str,
+        graph: CSRGraph | None = None,
+        *,
+        delta: DeltaGraph | None = None,
+        maintainer: IncrementalMaintainer | None = None,
+        model: str = "IC",
+        num_sets: int = 2000,
+        seed: int = 0,
+        epsilon: float = 0.5,
+        full_resample_threshold: float = 0.25,
+        repair: str = "extend",
+        engine: QueryEngine | None = None,
+        config: EngineConfig | None = None,
+    ):
+        if (graph is None) == (delta is None):
+            raise ParameterError(
+                "DynamicService needs exactly one of 'graph' or 'delta'"
+            )
+        self.dataset = str(dataset)
+        self.model = str(model).upper()
+        self.epsilon = float(epsilon)
+        self.seed = int(seed)
+        self.delta = delta if delta is not None else DeltaGraph(graph)
+        if maintainer is not None:
+            if maintainer.delta is not self.delta:
+                raise ParameterError(
+                    "maintainer must wrap the same DeltaGraph as the service"
+                )
+            self.maintainer = maintainer
+        else:
+            self.maintainer = IncrementalMaintainer(
+                self.delta,
+                model=self.model,
+                num_sets=num_sets,
+                seed=self.seed,
+                full_resample_threshold=full_resample_threshold,
+                repair=repair,
+            )
+        self.num_sets = self.maintainer.num_sets
+        self._own_engine = engine is None
+        self.engine = engine if engine is not None else QueryEngine(
+            config=config or EngineConfig()
+        )
+        self.served_epoch = -1
+        self._publish()
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._own_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "DynamicService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ publishing
+    def current_fingerprint(self) -> str:
+        """Sketch fingerprint of the newest *published* epoch."""
+        return self._fp
+
+    def _publish(self) -> None:
+        """Install the maintainer's epoch (graph + warm sketch) for serving."""
+        graph = self.delta.compact()
+        gfp = self.engine.install_graph(self.dataset, graph)
+        self._fp = sketch_fingerprint(
+            gfp, self.model, self.epsilon, self.seed, self.num_sets
+        )
+        # Snapshot the sketch: the maintainer keeps mutating its own store,
+        # so the published entry copies the flat arrays (from_arrays copies).
+        store = FlatRRRStore.from_arrays(
+            self.delta.num_vertices,
+            self.maintainer.store.offsets,
+            self.maintainer.store.vertices,
+            sort_sets=True,
+        )
+        self.engine.warm(
+            self._fp,
+            store,
+            counter=self.maintainer.counter.copy(),
+            meta={
+                "dataset": self.dataset,
+                "model": self.model,
+                "epsilon": self.epsilon,
+                "seed": self.seed,
+                "num_sets": self.num_sets,
+                "epoch": int(self.maintainer.epoch),
+                "dynamic": True,
+            },
+        )
+        self.served_epoch = int(self.maintainer.epoch)
+
+    # --------------------------------------------------------------- updates
+    def stage(self, update: EdgeUpdate) -> None:
+        self.delta.stage(update)
+
+    def commit(self) -> RepairReport:
+        """Commit staged updates, repair the sketch, publish the new epoch.
+
+        On repair failure the delta graph stays committed (the updates are
+        real) but serving continues from the last published epoch with
+        ``degraded`` responses; the error propagates to the caller.
+        """
+        info = self.delta.commit()
+        try:
+            report = self.maintainer.apply(info)
+        except ReproError:
+            tel = telemetry.get()
+            if tel.enabled:
+                tel.registry.counter("dynamic.repair_failures").inc()
+                tel.registry.gauge("dynamic.epoch_staleness").set(
+                    self.staleness()
+                )
+            raise
+        self._publish()
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.gauge("dynamic.epoch_staleness").set(self.staleness())
+        return report
+
+    def apply(self, updates: Iterable[EdgeUpdate]) -> RepairReport:
+        """Stage + commit one batch (the programmatic convenience path)."""
+        for u in updates:
+            self.stage(u)
+        return self.commit()
+
+    def staleness(self) -> int:
+        """How many committed epochs the served sketch lags behind."""
+        return int(self.delta.epoch - self.served_epoch)
+
+    # ---------------------------------------------------------------- queries
+    def query(
+        self,
+        k: int = 10,
+        *,
+        deadline_s: float | None = None,
+        id: str | None = None,
+    ) -> IMResponse:
+        """Top-``k`` seeds from the newest published epoch.
+
+        The response's ``epoch`` field carries the served epoch; when the
+        delta graph has committed epochs the sketch has not caught up with
+        (a failed repair), the response is flagged ``degraded``.
+        """
+        resp = self.engine.query(
+            IMQuery(
+                dataset=self.dataset,
+                model=self.model,
+                k=int(k),
+                epsilon=self.epsilon,
+                seed=self.seed,
+                theta_cap=self.num_sets,
+                deadline_s=deadline_s,
+                id=id,
+            )
+        )
+        resp.epoch = self.served_epoch
+        stale = self.staleness()
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.gauge("dynamic.epoch_staleness").set(stale)
+        if stale > 0 and resp.ok:
+            resp.degraded = True
+            if tel.enabled:
+                tel.registry.counter("dynamic.stale_queries").inc()
+        return resp
+
+    # ----------------------------------------------------------------- stats
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Engine + dynamic counters as one JSON-able dict (the `stats` op)."""
+        snap = self.engine.stats_snapshot()
+        snap["dynamic"] = {
+            "dataset": self.dataset,
+            "model": self.model,
+            "num_sets": self.num_sets,
+            "graph_epoch": int(self.delta.epoch),
+            "served_epoch": self.served_epoch,
+            "staleness": self.staleness(),
+            "num_edges": self.delta.num_edges,
+            "fingerprint": self._fp,
+        }
+        return snap

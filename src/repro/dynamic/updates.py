@@ -1,0 +1,133 @@
+"""The JSON-lines update-stream grammar of ``repro update``.
+
+One JSON object per line; six operations (docs/dynamic.md):
+
+.. code-block:: text
+
+    {"op": "insert",   "src": 3, "dst": 7, "prob": 0.2}
+    {"op": "delete",   "src": 3, "dst": 7}
+    {"op": "reweight", "src": 3, "dst": 7, "prob": 0.05}
+    {"op": "commit"}                       # apply staged updates, repair
+    {"op": "query", "k": 10, "id": "q1"}   # seeds from the newest epoch
+    {"op": "stats"}                        # service + sketch statistics
+
+``insert``/``delete``/``reweight`` lines *stage* changes; nothing is
+visible until a ``commit`` line closes the batch, bumps the epoch, and
+triggers the incremental repair.  ``query`` lines are answered from the
+newest successfully repaired epoch.
+
+Unlike the serving loop (``repro serve``), an update stream is a script —
+order matters and a malformed line poisons everything after it — so
+parsing errors raise :class:`~repro.errors.ParameterError` (exit 2)
+instead of producing per-line error responses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+from repro.dynamic.delta import UPDATE_OPS, EdgeUpdate
+
+__all__ = ["StreamOp", "parse_update_line", "iter_update_stream"]
+
+_CONTROL_OPS = ("commit", "query", "stats")
+_QUERY_FIELDS = {"op", "k", "id", "deadline_s"}
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """One decoded stream line.
+
+    ``kind`` is ``"update"`` (with ``update`` set), ``"commit"``,
+    ``"stats"``, or ``"query"`` (with ``k``/``id``/``deadline_s`` set).
+    """
+
+    kind: str
+    update: EdgeUpdate | None = None
+    k: int | None = None
+    id: str | None = None
+    deadline_s: float | None = None
+
+
+def parse_update_line(line: str) -> StreamOp:
+    """Decode and validate one line of an update stream."""
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"bad JSON update line: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ParameterError(
+            f"update line must be a JSON object, got {type(doc).__name__}"
+        )
+    op = doc.get("op")
+    if op in UPDATE_OPS:
+        unknown = set(doc) - {"op", "src", "dst", "prob"}
+        if unknown:
+            raise ParameterError(
+                f"unknown field(s) on {op!r}: {', '.join(sorted(unknown))}"
+            )
+        for name in ("src", "dst"):
+            if not isinstance(doc.get(name), int):
+                raise ParameterError(
+                    f"{op!r} requires integer '{name}', got {doc.get(name)!r}"
+                )
+        prob = doc.get("prob")
+        if prob is not None and not isinstance(prob, (int, float)):
+            raise ParameterError(f"'prob' must be a number, got {prob!r}")
+        # Mirror DeltaGraph.stage()'s prob rules here so a malformed line
+        # fails at the wire boundary, before any staging happens.
+        if op == "delete":
+            if prob is not None:
+                raise ParameterError("'delete' must not carry a 'prob' field")
+        elif prob is None:
+            raise ParameterError(f"{op!r} requires a 'prob' field")
+        return StreamOp(
+            kind="update",
+            update=EdgeUpdate(
+                op,
+                int(doc["src"]),
+                int(doc["dst"]),
+                None if prob is None else float(prob),
+            ),
+        )
+    if op == "commit":
+        if set(doc) != {"op"}:
+            raise ParameterError("'commit' takes no fields")
+        return StreamOp(kind="commit")
+    if op == "stats":
+        if set(doc) != {"op"}:
+            raise ParameterError("'stats' takes no fields")
+        return StreamOp(kind="stats")
+    if op == "query":
+        unknown = set(doc) - _QUERY_FIELDS
+        if unknown:
+            raise ParameterError(
+                f"unknown field(s) on 'query': {', '.join(sorted(unknown))}"
+            )
+        k = doc.get("k")
+        if k is not None and (not isinstance(k, int) or k < 1):
+            raise ParameterError(f"query 'k' must be a positive integer, got {k!r}")
+        return StreamOp(
+            kind="query",
+            k=k,
+            id=doc.get("id"),
+            deadline_s=doc.get("deadline_s"),
+        )
+    raise ParameterError(
+        f"unknown stream op {op!r} (use one of "
+        f"{', '.join((*UPDATE_OPS, *_CONTROL_OPS))})"
+    )
+
+
+def iter_update_stream(lines) -> "list[StreamOp]":
+    """Parse an iterable of raw lines, skipping blanks and ``#`` comments."""
+    ops: list[StreamOp] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        ops.append(parse_update_line(line))
+    return ops

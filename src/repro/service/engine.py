@@ -178,6 +178,10 @@ class QueryEngine:
         )
         self._graphs: dict[tuple, Any] = {}
         self._graph_fps: dict[tuple, str] = {}
+        # Installed graphs (repro.dynamic): dataset name -> (graph, fp).
+        # An installed graph overrides replica-dataset resolution for every
+        # query naming that dataset, whatever its model/seed.
+        self._installed: dict[str, tuple[Any, str]] = {}
         self.stats = ServiceStats()
 
     # --------------------------------------------------------------- lifecycle
@@ -232,6 +236,46 @@ class QueryEngine:
     def stats_snapshot(self) -> dict[str, Any]:
         """Engine + cache counters as one JSON-able dict (the `stats` op)."""
         return {"service": self.stats.to_dict(), "cache": self.cache.stats.to_dict()}
+
+    def install_graph(self, dataset: str, graph: Any) -> str:
+        """Serve ``dataset`` from an in-memory graph instead of the replica
+        loader; returns the graph's fingerprint.
+
+        This is the dynamic-serving hook (docs/dynamic.md): each committed
+        epoch re-installs the compacted graph, and because sketch
+        fingerprints hash the graph fingerprint, all downstream caching
+        re-keys itself automatically.  Memoised resolutions of the same
+        dataset name are dropped so no query can see the previous epoch's
+        graph.
+        """
+        ds = str(dataset).lower()
+        fp = graph_fingerprint(graph)
+        self._installed[ds] = (graph, fp)
+        for key in [k for k in self._graphs if k[0] == ds]:
+            del self._graphs[key]
+            del self._graph_fps[key]
+        return fp
+
+    def warm(
+        self,
+        fingerprint: str,
+        store: Any,
+        *,
+        counter: np.ndarray | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> bool:
+        """Pre-seed the in-memory cache with an externally built sketch.
+
+        Returns whether the entry fit the cache budget.  Used by
+        :class:`~repro.dynamic.serving.DynamicService` to publish each
+        repaired epoch without a cold sampling pass.
+        """
+        if counter is None:
+            counter = store.vertex_counts()
+        entry = CacheEntry(store=store, counter=counter, meta=dict(meta or {}))
+        ok = self.cache.put(fingerprint, entry)
+        self._sync_cache_telemetry()
+        return ok
 
     # --------------------------------------------------------------- internals
     def _tel_inc(self, name: str, amount: float = 1) -> None:
@@ -319,6 +363,9 @@ class QueryEngine:
 
     def _resolve_graph(self, query: IMQuery) -> tuple[Any, str]:
         """(graph, graph fingerprint) for a query, memoised per engine."""
+        installed = self._installed.get(query.dataset.lower())
+        if installed is not None:
+            return installed
         key = (query.dataset.lower(), str(query.model).upper(), int(query.seed))
         graph = self._graphs.get(key)
         if graph is None:

@@ -142,6 +142,9 @@ class IMResponse:
     degraded: bool = False
     latency_s: float = 0.0
     error: str | None = None
+    #: Graph epoch the answer was computed against (dynamic serving only;
+    #: ``None`` for static datasets).  See docs/dynamic.md.
+    epoch: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -160,6 +163,8 @@ class IMResponse:
                 cached=self.cached,
                 degraded=self.degraded,
             )
+            if self.epoch is not None:
+                doc["epoch"] = self.epoch
         else:
             doc["error"] = self.error
         doc["latency_s"] = self.latency_s

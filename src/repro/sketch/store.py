@@ -48,6 +48,9 @@ class FlatRRRStore:
         self._verts = np.empty(64, dtype=np.int32)
         self._num_sets = 0
         self._num_entries = 0
+        # Lazily built inverted index (vertex -> set ids); see
+        # :meth:`sets_containing`.  Any mutation drops it.
+        self._index: tuple[np.ndarray, np.ndarray] | None = None
 
     # --------------------------------------------------------------- append
     def append(self, vertices: np.ndarray) -> int:
@@ -73,6 +76,7 @@ class FlatRRRStore:
         self._num_entries = need
         self._num_sets += 1
         self._offsets[self._num_sets] = need
+        self._index = None
         return self._num_sets - 1
 
     def extend(self, sets: Sequence[np.ndarray]) -> None:
@@ -154,10 +158,94 @@ class FlatRRRStore:
             np.int64
         )
 
-    def sets_containing(self, v: int) -> np.ndarray:
-        """Indices of sets that contain vertex ``v`` (vectorised scan)."""
-        hits = np.flatnonzero(self.vertices == np.int32(v))
-        return np.unique(np.searchsorted(self.offsets, hits, side="right") - 1)
+    def sets_containing(self, v: int, *, use_index: bool = True) -> np.ndarray:
+        """Indices of sets that contain vertex ``v``.
+
+        With ``use_index=True`` (the default) the query is answered from a
+        lazily built inverted index (vertex -> set ids, CSR layout): the
+        first call after any mutation pays one ``argsort`` over the flat
+        vertex array, and every subsequent call is an O(hits) slice.  The
+        incremental maintainer issues one query per touched endpoint per
+        update batch, which would otherwise re-scan the whole store each
+        time.  ``use_index=False`` forces the original linear scan (used by
+        tests and the microbench as the reference).
+        """
+        if not use_index:
+            hits = np.flatnonzero(self.vertices == np.int32(v))
+            return np.unique(
+                np.searchsorted(self.offsets, hits, side="right") - 1
+            )
+        if not (0 <= v < self.num_vertices):
+            return np.empty(0, dtype=np.int64)
+        if self._index is None:
+            self._build_index()
+        assert self._index is not None
+        ptr, set_ids = self._index
+        return np.unique(set_ids[ptr[v] : ptr[v + 1]])
+
+    def _build_index(self) -> None:
+        """Build the inverted index: for each vertex, which sets hold it."""
+        verts = self.vertices
+        order = np.argsort(verts, kind="stable")
+        set_ids = np.repeat(
+            np.arange(self._num_sets, dtype=np.int64), self.sizes()
+        )[order]
+        ptr = np.searchsorted(
+            verts[order], np.arange(self.num_vertices + 1, dtype=np.int32)
+        ).astype(np.int64)
+        self._index = (ptr, set_ids)
+
+    # ------------------------------------------------------------- mutation
+    def replace_sets(
+        self, indices: np.ndarray, new_sets: Sequence[np.ndarray]
+    ) -> "FlatRRRStore":
+        """Splice new vertex lists into existing set slots, in place.
+
+        ``indices`` must be strictly increasing set indices;``new_sets[j]``
+        replaces set ``indices[j]``.  Replacement sets may have any size —
+        the flat arrays are rebuilt in one concatenation pass, so the cost
+        is O(total_entries) regardless of how many sets change.  Honours
+        ``sort_sets`` and drops the inverted index.  Returns ``self``.
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return self
+        if np.any(np.diff(idx) <= 0):
+            raise ParameterError("replace_sets indices must be strictly increasing")
+        if idx[0] < 0 or idx[-1] >= self._num_sets:
+            raise ParameterError(
+                f"replace_sets index out of range [0, {self._num_sets})"
+            )
+        if len(new_sets) != idx.size:
+            raise ParameterError(
+                f"got {idx.size} indices but {len(new_sets)} replacement sets"
+            )
+        offsets = self.offsets
+        pieces: list[np.ndarray] = []
+        sizes = np.diff(offsets)
+        cursor = 0  # next unconsumed set index
+        for j, i in enumerate(idx):
+            if cursor < i:  # untouched run [cursor, i)
+                pieces.append(self._verts[offsets[cursor] : offsets[i]])
+            arr = np.asarray(new_sets[j], dtype=np.int32).ravel()
+            if self.sort_sets:
+                arr = np.sort(arr)
+            pieces.append(arr)
+            sizes[i] = arr.size
+            cursor = int(i) + 1
+        if cursor < self._num_sets:
+            pieces.append(self._verts[offsets[cursor] :])
+        self._verts = (
+            np.concatenate(pieces)
+            if pieces
+            else np.empty(0, dtype=np.int32)
+        )
+        new_offsets = np.zeros(self._num_sets + 1, dtype=np.int64)
+        np.cumsum(sizes, out=new_offsets[1:])
+        self._offsets = new_offsets
+        self._num_entries = int(new_offsets[-1])
+        self._index = None
+        return self
 
     def nbytes(self) -> int:
         """Modelled footprint: the *logical* arrays, not the growth slack."""
@@ -176,6 +264,7 @@ class FlatRRRStore:
             self._verts = self._verts[: self._num_entries].copy()
         if self._offsets.size != self._num_sets + 1:
             self._offsets = self._offsets[: self._num_sets + 1].copy()
+        self._index = None
         return self
 
     def memory_model_bytes_per_set_entry(self) -> float:

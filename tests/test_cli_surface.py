@@ -1,0 +1,111 @@
+"""Drift guards: CLI verb listing, dispatch table, and documented exit codes.
+
+These tests exist because the verb listing, ``main()``'s dispatch dict, and
+the exit-code table in docs/resilience.md are maintained by hand in three
+places; each has silently drifted before.
+"""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.cli as cli
+import repro.errors as errors
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+class TestVerbSurface:
+    def test_every_verb_dispatched(self):
+        """Each parser subcommand has an entry in main()'s dispatch dict."""
+        src = inspect.getsource(cli.main)
+        for verb in cli.command_help():
+            assert f'"{verb}":' in src, f"verb {verb!r} missing from dispatch"
+
+    def test_every_verb_has_help(self):
+        for verb, text in cli.command_help().items():
+            assert text.strip(), f"verb {verb!r} has no help string"
+
+    def test_expected_verbs_present(self):
+        verbs = set(cli.command_help())
+        assert {
+            "list", "datasets", "experiment", "run", "trace", "sweep",
+            "extract-results", "validate", "query", "serve", "update",
+        } <= verbs
+
+    def test_list_output_names_every_verb(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for verb in cli.command_help():
+            assert re.search(rf"^\s*{re.escape(verb)}\b", out, re.M), (
+                f"verb {verb!r} not shown by `repro list`"
+            )
+
+    def test_update_parser_accepts_documented_flags(self):
+        args = cli.build_parser().parse_args(
+            [
+                "update", "amazon", "--updates", "u.jsonl", "--model", "LT",
+                "--k", "5", "--seed", "3", "--theta-cap", "100",
+                "--threshold", "0.5", "--repair", "resample",
+                "--checkpoint", "ck", "--resume", "--telemetry", "tel",
+            ]
+        )
+        assert args.command == "update" and args.dataset == "amazon"
+        assert args.repair == "resample" and args.resume
+
+
+def error_classes():
+    """All concrete ReproError subclasses exported by repro.errors."""
+    out = []
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if (
+            inspect.isclass(obj)
+            and issubclass(obj, errors.ReproError)
+            and obj is not errors.ReproError
+        ):
+            out.append(obj)
+    return out
+
+
+class TestExitCodeDocs:
+    @pytest.fixture(scope="class")
+    def documented(self):
+        """class name -> documented exit code, from docs/resilience.md."""
+        text = (DOCS / "resilience.md").read_text()
+        table = {}
+        for line in text.splitlines():
+            m = re.match(r"\|\s*(\d+)\s*\|(.+?)\|", line)
+            if not m:
+                continue
+            code = int(m.group(1))
+            for cls in re.findall(r"`(\w+)`", m.group(2)):
+                table[cls] = code
+        assert table, "no exit-code table found in docs/resilience.md"
+        return table
+
+    def test_every_error_class_documented(self, documented):
+        for cls in error_classes():
+            assert cls.__name__ in documented, (
+                f"{cls.__name__} missing from the docs/resilience.md "
+                "exit-code table"
+            )
+
+    def test_documented_codes_match_classes(self, documented):
+        for cls in error_classes():
+            assert documented[cls.__name__] == cls.exit_code, (
+                f"{cls.__name__}: docs say exit "
+                f"{documented[cls.__name__]}, class says {cls.exit_code}"
+            )
+
+    def test_no_stale_documented_classes(self, documented):
+        known = {c.__name__ for c in error_classes()} | {"ReproError"}
+        for name in documented:
+            assert name in known, (
+                f"docs/resilience.md documents unknown error class {name}"
+            )
+
+    def test_generic_exit_documented(self, documented):
+        assert documented.get("ReproError") == 1

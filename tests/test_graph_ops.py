@@ -7,10 +7,20 @@ from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
 from repro.graph.generators import erdos_renyi
 from repro.graph.ops import core_numbers, induced_subgraph, k_core, largest_component
 
 from conftest import make_graph
+
+
+def graph_with_self_loops() -> CSRGraph:
+    """Triangle 0->1->2->0 plus self-loops on 0 and 2, built directly as CSR
+    (the builder drops self-loops; external CSR data may still carry them)."""
+    indptr = np.array([0, 2, 3, 5], dtype=np.int64)
+    indices = np.array([0, 1, 2, 0, 2], dtype=np.int32)
+    probs = np.full(5, 0.5, dtype=np.float64)
+    return CSRGraph(3, indptr, indices, probs)
 
 
 class TestInducedSubgraph:
@@ -138,3 +148,56 @@ class TestKCore:
                 d, minlength=sub.num_vertices
             )
             assert deg.min() >= k
+
+
+class TestOpsEdgeCases:
+    """Degenerate inputs: empty graphs, no edges, self-loops in raw CSR."""
+
+    def test_empty_graph_through_all_ops(self, empty_graph):
+        sub, labels = induced_subgraph(empty_graph, np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0 and labels.size == 0
+        sub, labels = largest_component(empty_graph)
+        assert sub.num_vertices == 0 and labels.size == 0
+        assert core_numbers(empty_graph).size == 0
+        sub, labels = k_core(empty_graph, 0)
+        assert sub.num_vertices == 0
+
+    def test_disconnected_graph_subgraph(self, isolated_graph):
+        sub, labels = induced_subgraph(isolated_graph, np.array([0, 3]))
+        assert sub.num_vertices == 2 and sub.num_edges == 0
+        assert labels.tolist() == [0, 3]
+
+    def test_disconnected_graph_largest_component(self, isolated_graph):
+        # With zero edges every vertex is its own component of size 1.
+        sub, labels = largest_component(isolated_graph)
+        assert sub.num_vertices == 1 and sub.num_edges == 0
+
+    def test_disconnected_graph_k_core(self, isolated_graph):
+        sub, _ = k_core(isolated_graph, 0)
+        assert sub.num_vertices == isolated_graph.num_vertices
+        sub, _ = k_core(isolated_graph, 1)
+        assert sub.num_vertices == 0
+
+    def test_self_loops_dropped_by_induced_subgraph(self):
+        g = graph_with_self_loops()
+        sub, labels = induced_subgraph(g, np.arange(3))
+        # The triangle survives; the builder drops the two self-loops.
+        assert labels.tolist() == [0, 1, 2]
+        assert sub.num_edges == 3
+        assert all(u != v for u, v, _ in sub.iter_edges())
+
+    def test_self_loops_largest_component(self):
+        g = graph_with_self_loops()
+        sub, labels = largest_component(g, strong=True)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+        assert all(u != v for u, v, _ in sub.iter_edges())
+
+    def test_self_loops_k_core(self):
+        # A self-loop adds 2 to its vertex's symmetrised degree but must not
+        # keep a vertex in a core the loop-free graph would peel it from once
+        # the subgraph is rebuilt; the returned graph is always loop-free.
+        g = graph_with_self_loops()
+        sub, labels = k_core(g, 2)
+        assert all(u != v for u, v, _ in sub.iter_edges())
+        for v in labels.tolist():
+            assert v in (0, 1, 2)

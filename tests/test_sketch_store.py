@@ -226,6 +226,139 @@ class TestFlatStoreAccessors:
             )
 
 
+class TestInvertedIndex:
+    def make_random(self, seed=0, n=50, sets=60):
+        s = FlatRRRStore(n)
+        rng = np.random.default_rng(seed)
+        for _ in range(sets):
+            size = int(rng.integers(0, 12))
+            s.append(rng.choice(n, size=size, replace=False))
+        return s
+
+    def test_index_matches_linear_scan(self):
+        s = self.make_random()
+        for v in range(s.num_vertices):
+            assert np.array_equal(
+                s.sets_containing(v),
+                s.sets_containing(v, use_index=False),
+            )
+
+    def test_index_built_lazily_and_reused(self):
+        s = self.make_random()
+        assert s._index is None
+        s.sets_containing(0)
+        assert s._index is not None
+        idx = s._index
+        s.sets_containing(3)
+        assert s._index is idx  # no rebuild between queries
+
+    def test_out_of_range_vertex_empty(self):
+        s = self.make_random()
+        assert s.sets_containing(-1).size == 0
+        assert s.sets_containing(s.num_vertices).size == 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.append(np.array([1, 2])),
+            lambda s: s.extend([np.array([3])]),
+            lambda s: s.trim(),
+            lambda s: s.replace_sets(np.array([0]), [np.array([4])]),
+        ],
+    )
+    def test_mutation_invalidates_index(self, mutate):
+        s = self.make_random()
+        s.sets_containing(0)
+        mutate(s)
+        assert s._index is None
+        # And the rebuilt index answers correctly post-mutation.
+        for v in range(s.num_vertices):
+            assert np.array_equal(
+                s.sets_containing(v), s.sets_containing(v, use_index=False)
+            )
+
+    def test_empty_store(self):
+        s = FlatRRRStore(10)
+        assert s.sets_containing(3).size == 0
+
+
+class TestReplaceSets:
+    def test_same_size_replacement(self):
+        s = FlatRRRStore(10)
+        s.extend([np.array([0, 1]), np.array([2, 3]), np.array([4, 5])])
+        s.replace_sets(np.array([1]), [np.array([7, 8])])
+        assert s.get(0).tolist() == [0, 1]
+        assert s.get(1).tolist() == [7, 8]
+        assert s.get(2).tolist() == [4, 5]
+
+    def test_size_changing_replacement(self):
+        s = FlatRRRStore(10)
+        s.extend([np.array([0, 1]), np.array([2, 3]), np.array([4, 5])])
+        s.replace_sets(
+            np.array([0, 2]), [np.array([9]), np.array([6, 7, 8])]
+        )
+        assert s.get(0).tolist() == [9]
+        assert s.get(1).tolist() == [2, 3]
+        assert s.get(2).tolist() == [6, 7, 8]
+        assert s.total_entries == 6
+        assert s.offsets.tolist() == [0, 1, 3, 6]
+
+    def test_empty_replacement_set(self):
+        s = FlatRRRStore(10)
+        s.extend([np.array([0, 1]), np.array([2])])
+        s.replace_sets(np.array([0]), [np.array([], dtype=np.int32)])
+        assert s.get(0).size == 0
+        assert s.get(1).tolist() == [2]
+
+    def test_honours_sort_sets(self):
+        s = FlatRRRStore(10, sort_sets=True)
+        s.append(np.array([1, 2]))
+        s.replace_sets(np.array([0]), [np.array([9, 3, 7])])
+        assert s.get(0).tolist() == [3, 7, 9]
+
+    def test_no_indices_is_noop(self):
+        s = FlatRRRStore(10)
+        s.append(np.array([1]))
+        assert s.replace_sets(np.array([], dtype=np.int64), []) is s
+        assert s.get(0).tolist() == [1]
+
+    def test_vertex_counts_consistent_after_replace(self):
+        s = FlatRRRStore(10)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            s.append(rng.choice(10, size=4, replace=False))
+        s.replace_sets(
+            np.array([2, 5, 19]),
+            [rng.choice(10, size=k, replace=False) for k in (1, 6, 3)],
+        )
+        manual = np.bincount(s.vertices, minlength=10)
+        assert np.array_equal(s.vertex_counts(), manual)
+
+    @pytest.mark.parametrize(
+        "indices,sets",
+        [
+            (np.array([1, 1]), [np.array([1]), np.array([2])]),  # not increasing
+            (np.array([2, 1]), [np.array([1]), np.array([2])]),  # decreasing
+            (np.array([5]), [np.array([1])]),                    # out of range
+            (np.array([-1]), [np.array([1])]),                   # negative
+            (np.array([0]), []),                                 # length mismatch
+        ],
+    )
+    def test_validation(self, indices, sets):
+        s = FlatRRRStore(10)
+        s.extend([np.array([0]), np.array([1]), np.array([2])])
+        with pytest.raises(ParameterError):
+            s.replace_sets(indices, sets)
+
+    def test_appendable_after_replace(self):
+        s = FlatRRRStore(10)
+        s.extend([np.array([0]), np.array([1])])
+        s.replace_sets(np.array([0]), [np.array([5, 6])])
+        s.append(np.array([7]))
+        assert len(s) == 3
+        assert s.get(2).tolist() == [7]
+
+
 class TestStoreProperties:
     @given(
         st.lists(
