@@ -210,6 +210,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write DIR/metrics.json and DIR/trace.json at shutdown",
     )
 
+    shard = sub.add_parser(
+        "shard",
+        help="partitioned multi-worker serving cluster: build/serve/query "
+        "(docs/sharding.md)",
+    )
+    shard.add_argument(
+        "action", choices=("build", "serve", "query"),
+        help="build shard artifacts, run the JSON-lines router loop, or "
+        "serve one query",
+    )
+    shard.add_argument(
+        "dataset", nargs="?", default=None,
+        help="dataset name (required for build/query)",
+    )
+    shard.add_argument("--shards", type=int, default=2, help="shard count")
+    shard.add_argument(
+        "--replicas", type=int, default=1, help="replicas per shard"
+    )
+    shard.add_argument(
+        "--strategy", default="hash", choices=("hash", "block", "balanced"),
+        help="RRR-set ownership strategy (docs/sharding.md)",
+    )
+    shard.add_argument(
+        "--virtual-nodes", type=int, default=64,
+        help="consistent-hash ring points per shard",
+    )
+    shard.add_argument("--model", default="IC", choices=("IC", "LT"))
+    shard.add_argument("--k", type=int, default=10)
+    shard.add_argument("--epsilon", type=float, default=0.5)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument(
+        "--theta-cap", type=int, default=None,
+        help="sketch size in RRR sets (default: --default-theta)",
+    )
+    shard.add_argument(
+        "--default-theta", type=int, default=2000,
+        help="sketch size for queries without theta_cap",
+    )
+    shard.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist/reuse per-shard sketch artifacts under DIR",
+    )
+    shard.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="per-worker in-memory sketch cache budget",
+    )
+    shard.add_argument(
+        "--worker-deadline", type=float, default=None, metavar="SECONDS",
+        help="soft per-scatter-call budget; misses count against health",
+    )
+    shard.add_argument(
+        "--no-degraded", action="store_true",
+        help="error instead of serving partial coverage when a shard is down",
+    )
+    shard.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write DIR/metrics.json and DIR/trace.json at shutdown",
+    )
+    shard.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON response (query action)",
+    )
+
     update = sub.add_parser(
         "update",
         help="apply a JSON-lines graph-update stream with incremental "
@@ -560,21 +623,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serve_loop(tel, shutdown, execute, control) -> int:
+    """Shared JSON-lines loop of the ``serve`` verbs.
+
+    ``execute(queries) -> responses`` handles a parsed batch; ``control(op
+    dict) -> (payload | None, stop)`` handles control operations (``None``
+    payload means unknown op).  Batches and control ops run inside the
+    shutdown guard, so a SIGINT/SIGTERM drains the in-flight work before
+    the loop exits; the return value is the number of queries served.
+    """
     import json
 
-    from repro import telemetry
     from repro.errors import ParameterError
-    from repro.service import QueryEngine, parse_request_line
+    from repro.service import ShutdownRequested, parse_request_line
 
-    config = _engine_config(
-        args,
-        default_theta=args.default_theta,
-        backend=args.backend,
-        num_workers=args.num_workers,
-    )
     served = 0
-    with telemetry.session() as tel, QueryEngine(config=config) as engine:
+    try:
         for raw in sys.stdin:
             line = raw.strip()
             if not line:
@@ -582,40 +646,220 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             try:
                 request = parse_request_line(line)
             except ParameterError as exc:
-                print(json.dumps({"status": "error", "error": str(exc)}), flush=True)
+                print(
+                    json.dumps({"status": "error", "error": str(exc)}),
+                    flush=True,
+                )
                 continue
             if isinstance(request, dict):  # control operation
-                if request.get("op") == "stats":
-                    snap = tel.snapshot()
-                    print(
-                        json.dumps(
+                with shutdown.guard():
+                    payload, stop = control(request)
+                if payload is None:
+                    payload = {
+                        "status": "error",
+                        "error": f"unknown op {request.get('op')!r}",
+                    }
+                print(json.dumps(payload, default=float), flush=True)
+                if stop:
+                    break
+            else:
+                with shutdown.guard():
+                    for resp in execute(request):
+                        served += 1
+                        print(resp.to_json(), flush=True)
+            if shutdown.requested:
+                break
+    except ShutdownRequested:
+        pass
+    if shutdown.requested:
+        print(
+            f"shutdown: signal {shutdown.signum} received, in-flight work "
+            "drained",
+            file=sys.stderr,
+        )
+    return served
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.service import GracefulShutdown, QueryEngine
+
+    config = _engine_config(
+        args,
+        default_theta=args.default_theta,
+        backend=args.backend,
+        num_workers=args.num_workers,
+    )
+    with telemetry.session() as tel, QueryEngine(config=config) as engine, \
+            GracefulShutdown() as shutdown:
+
+        def control(request):
+            op = request.get("op")
+            if op == "stats":
+                snap = tel.snapshot()
+                return (
+                    {
+                        "status": "ok", "op": "stats",
+                        **engine.stats_snapshot(),
+                        "counters": snap["counters"],
+                    },
+                    False,
+                )
+            if op == "shutdown":
+                return {"status": "ok", "op": "shutdown"}, True
+            return None, False
+
+        served = _serve_loop(tel, shutdown, engine.execute, control)
+        # The flush runs inside the guard so a first signal arriving now
+        # cannot cut the telemetry report in half (a repeated signal still
+        # escalates past the guard, by design).
+        with shutdown.guard():
+            if args.telemetry is not None:
+                paths = telemetry.write_report(
+                    args.telemetry, tel,
+                    run={"command": "serve", "queries": served},
+                )
+                print(
+                    f"telemetry: {paths['metrics']} {paths['trace']}",
+                    file=sys.stderr,
+                )
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.errors import ParameterError
+    from repro.service import GracefulShutdown, IMQuery
+    from repro.shard import RouterConfig, ShardCluster, ShardPlan, SketchSpec
+
+    plan = ShardPlan(
+        num_shards=args.shards,
+        replication=args.replicas,
+        strategy=args.strategy,
+        virtual_nodes=args.virtual_nodes,
+    )
+    router_config = RouterConfig(
+        default_theta=args.default_theta,
+        worker_deadline_s=args.worker_deadline,
+        allow_degraded=not args.no_degraded,
+    )
+    engine_config = _engine_config(args, default_theta=args.default_theta)
+
+    def make_spec() -> SketchSpec:
+        if args.dataset is None:
+            raise ParameterError(
+                f"'repro shard {args.action}' needs a dataset argument"
+            )
+        return SketchSpec(
+            dataset=args.dataset.lower(),
+            model=args.model,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            num_sets=args.theta_cap or args.default_theta,
+        )
+
+    with telemetry.session() as tel, ShardCluster(
+        plan, engine_config=engine_config, router_config=router_config
+    ) as cluster:
+        if args.action == "build":
+            import json
+
+            summary = cluster.build(make_spec())
+            print(json.dumps(summary, default=float))
+            served = 0
+        elif args.action == "query":
+            spec = make_spec()
+            resp = cluster.query(
+                IMQuery(
+                    dataset=spec.dataset, model=spec.model, k=args.k,
+                    epsilon=spec.epsilon, seed=spec.seed,
+                    theta_cap=spec.num_sets,
+                )
+            )
+            if args.json:
+                print(resp.to_json())
+            elif not resp.ok:
+                print(f"error: {resp.error}", file=sys.stderr)
+            else:
+                source = (
+                    "degraded (shard down)" if resp.degraded
+                    else "warm" if resp.cached else "cold"
+                )
+                print(
+                    f"{spec.dataset} [{spec.model}] k={args.k} over "
+                    f"{plan.num_shards} shard(s): spread estimate "
+                    f"{resp.spread_estimate:.1f} "
+                    f"({resp.coverage_fraction:.1%} of {resp.num_rrrsets} "
+                    f"RRR sets), {source} in {resp.latency_s:.3f}s"
+                )
+                print("seeds:", " ".join(map(str, resp.seeds)))
+            if not resp.ok:
+                return 2 if resp.status == "error" else 3
+            served = 1
+        else:  # serve
+            with GracefulShutdown() as shutdown:
+
+                def control(request):
+                    op = request.get("op")
+                    if op == "stats":
+                        snap = tel.snapshot()
+                        return (
                             {
                                 "status": "ok", "op": "stats",
-                                **engine.stats_snapshot(),
+                                **cluster.stats_snapshot(),
                                 "counters": snap["counters"],
                             },
-                            default=float,
-                        ),
-                        flush=True,
-                    )
-                elif request.get("op") == "shutdown":
-                    print(json.dumps({"status": "ok", "op": "shutdown"}), flush=True)
-                    break
-                else:
-                    print(
-                        json.dumps(
-                            {"status": "error",
-                             "error": f"unknown op {request.get('op')!r}"}
-                        ),
-                        flush=True,
-                    )
-                continue
-            for resp in engine.execute(request):
-                served += 1
-                print(resp.to_json(), flush=True)
+                            False,
+                        )
+                    if op == "shutdown":
+                        return {"status": "ok", "op": "shutdown"}, True
+                    if op in ("kill", "revive"):
+                        if "shard" not in request:
+                            return (
+                                {"status": "error",
+                                 "error": f"op {op!r} needs a 'shard' field"},
+                                False,
+                            )
+                        fn = cluster.kill if op == "kill" else cluster.revive
+                        names = fn(
+                            int(request["shard"]),
+                            (
+                                int(request["replica"])
+                                if request.get("replica") is not None
+                                else None
+                            ),
+                        )
+                        return (
+                            {"status": "ok", "op": op, "workers": names},
+                            False,
+                        )
+                    return None, False
+
+                served = _serve_loop(
+                    tel, shutdown, cluster.execute, control
+                )
+                with shutdown.guard():
+                    if args.telemetry is not None:
+                        paths = telemetry.write_report(
+                            args.telemetry, tel,
+                            run={
+                                "command": "shard serve",
+                                "queries": served,
+                                **plan.describe(),
+                            },
+                        )
+                        print(
+                            f"telemetry: {paths['metrics']} {paths['trace']}",
+                            file=sys.stderr,
+                        )
+            return 0
         if args.telemetry is not None:
             paths = telemetry.write_report(
-                args.telemetry, tel, run={"command": "serve", "queries": served}
+                args.telemetry, tel,
+                run={
+                    "command": f"shard {args.action}", "queries": served,
+                    **plan.describe(),
+                },
             )
             print(
                 f"telemetry: {paths['metrics']} {paths['trace']}",
@@ -782,6 +1026,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": lambda: _cmd_validate(args),
         "query": lambda: _cmd_query(args),
         "serve": lambda: _cmd_serve(args),
+        "shard": lambda: _cmd_shard(args),
         "update": lambda: _cmd_update(args),
     }
     cmd = dispatch.get(args.command)

@@ -86,6 +86,11 @@ class DynamicService:
             config=config or EngineConfig()
         )
         self.served_epoch = -1
+        # Publish fan-out (repro.shard): each hook receives every published
+        # epoch — graph, fingerprint, sketch snapshot, counter, meta — so a
+        # shard cluster (or any other downstream consumer) stays in lockstep
+        # with the engine.  See :meth:`add_publish_hook`.
+        self._publish_hooks: list[Any] = []
         self._publish()
 
     # ------------------------------------------------------------- lifecycle
@@ -104,6 +109,20 @@ class DynamicService:
         """Sketch fingerprint of the newest *published* epoch."""
         return self._fp
 
+    def add_publish_hook(self, hook: Any, *, replay: bool = True) -> None:
+        """Fan each published epoch out to ``hook(dataset=, graph=,
+        fingerprint=, store=, counter=, meta=)``.
+
+        :meth:`ShardCluster.publish <repro.shard.cluster.ShardCluster.publish>`
+        has exactly this signature, so a cluster subscribes with
+        ``service.add_publish_hook(cluster.publish)``.  With ``replay=True``
+        (default) the hook is immediately called with the currently served
+        epoch, so late subscribers start consistent.
+        """
+        self._publish_hooks.append(hook)
+        if replay and self.served_epoch >= 0:
+            self._fan_out(hook, *self._last_published)
+
     def _publish(self) -> None:
         """Install the maintainer's epoch (graph + warm sketch) for serving."""
         graph = self.delta.compact()
@@ -119,21 +138,31 @@ class DynamicService:
             self.maintainer.store.vertices,
             sort_sets=True,
         )
-        self.engine.warm(
-            self._fp,
-            store,
-            counter=self.maintainer.counter.copy(),
-            meta={
-                "dataset": self.dataset,
-                "model": self.model,
-                "epsilon": self.epsilon,
-                "seed": self.seed,
-                "num_sets": self.num_sets,
-                "epoch": int(self.maintainer.epoch),
-                "dynamic": True,
-            },
-        )
+        counter = self.maintainer.counter.copy()
+        meta = {
+            "dataset": self.dataset,
+            "model": self.model,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+            "num_sets": self.num_sets,
+            "epoch": int(self.maintainer.epoch),
+            "dynamic": True,
+        }
+        self.engine.warm(self._fp, store, counter=counter, meta=meta)
         self.served_epoch = int(self.maintainer.epoch)
+        self._last_published = (graph, self._fp, store, counter, meta)
+        for hook in self._publish_hooks:
+            self._fan_out(hook, *self._last_published)
+
+    def _fan_out(self, hook: Any, graph, fp, store, counter, meta) -> None:
+        hook(
+            dataset=self.dataset,
+            graph=graph,
+            fingerprint=fp,
+            store=store,
+            counter=counter,
+            meta=meta,
+        )
 
     # --------------------------------------------------------------- updates
     def stage(self, update: EdgeUpdate) -> None:

@@ -11,7 +11,10 @@ of the algorithm:
   persistence for graphs and all three RRR-store layouts;
 - :mod:`repro.service.cache` — the byte-accounted LRU of warm sketches;
 - :mod:`repro.service.engine` — the batching, deadline-enforcing
-  :class:`QueryEngine` on top of :mod:`repro.runtime.backends`.
+  :class:`QueryEngine` on top of :mod:`repro.runtime.backends`;
+- :mod:`repro.service.lifecycle` — :class:`GracefulShutdown`, the
+  SIGINT/SIGTERM drain used by the ``repro serve`` family (finish the
+  in-flight batch, flush telemetry, then exit).
 
 Typical use::
 
@@ -43,6 +46,7 @@ from repro.service.artifacts import (
 )
 from repro.service.cache import CacheEntry, CacheStats, SketchCache
 from repro.service.engine import EngineConfig, QueryEngine, ServiceStats
+from repro.service.lifecycle import GracefulShutdown, ShutdownRequested
 from repro.service.protocol import IMQuery, IMResponse, parse_request_line
 
 __all__ = [
@@ -61,4 +65,6 @@ __all__ = [
     "EngineConfig",
     "QueryEngine",
     "ServiceStats",
+    "GracefulShutdown",
+    "ShutdownRequested",
 ]

@@ -1,0 +1,92 @@
+"""Graceful server shutdown: drain in-flight work, then flush, then exit.
+
+``repro serve`` and ``repro shard serve`` are long-running JSON-lines
+loops; a plain SIGINT/SIGTERM would kill them mid-batch, dropping
+responses the client already sent queries for and losing the telemetry
+report.  :class:`GracefulShutdown` turns those signals into a *drain*:
+
+- **inside** a :meth:`guard` block (a batch being executed, a report being
+  written) the signal only sets :attr:`requested` — the work in flight
+  finishes and its responses are printed;
+- **outside** any guard (typically blocked in ``sys.stdin`` readline) the
+  handler raises :class:`ShutdownRequested`, which — per PEP 475 — breaks
+  the blocking read so the loop can fall through to its flush path.
+
+The second signal is never deferred: if a drain hangs, a repeated Ctrl-C
+raises immediately, even inside a guard.  Handlers are installed on
+``__enter__`` and always restored on ``__exit__``; installation degrades
+to a no-op off the main thread (tests can still exercise the flag logic
+via :meth:`request`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from types import FrameType
+from typing import Iterator
+
+__all__ = ["GracefulShutdown", "ShutdownRequested"]
+
+#: Signals a server drains on, by default.
+DEFAULT_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class ShutdownRequested(Exception):
+    """Raised (out of a blocking read) when a shutdown signal arrives."""
+
+    def __init__(self, signum: int):
+        super().__init__(f"shutdown requested by signal {signum}")
+        self.signum = signum
+
+
+class GracefulShutdown:
+    """Context manager converting termination signals into a drain flag."""
+
+    def __init__(self, signals: tuple[signal.Signals, ...] = DEFAULT_SIGNALS):
+        self._signals = tuple(signals)
+        self._previous: dict[int, object] = {}
+        self._depth = 0
+        self.requested = False
+        self.signum: int | None = None
+
+    # ---------------------------------------------------------------- install
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            for sig in self._signals:
+                self._previous[sig] = signal.signal(sig, self._handle)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, prev in self._previous.items():
+            signal.signal(sig, prev)
+        self._previous.clear()
+
+    # ----------------------------------------------------------------- handler
+    def _handle(self, signum: int, frame: FrameType | None) -> None:
+        repeated = self.requested
+        self.request(signum)
+        if self._depth == 0 or repeated:
+            raise ShutdownRequested(signum)
+
+    def request(self, signum: int = signal.SIGTERM) -> None:
+        """Set the drain flag as if ``signum`` had been received (the
+        thread-safe, signal-free path tests and embedders use)."""
+        self.requested = True
+        if self.signum is None:
+            self.signum = int(signum)
+
+    @contextlib.contextmanager
+    def guard(self) -> Iterator[None]:
+        """Defer first signals for the duration of the block.
+
+        Work wrapped in ``guard()`` runs to completion even if a signal
+        arrives; the caller checks :attr:`requested` afterwards and exits
+        its loop cleanly.  Guards nest.
+        """
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1

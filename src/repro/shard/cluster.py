@@ -1,0 +1,272 @@
+"""An in-process shard cluster: plan + workers + router in one handle.
+
+:class:`ShardCluster` is the deployment unit the CLI (``repro shard``),
+the tests, and the benchmarks drive: it instantiates
+``plan.num_workers`` :class:`~repro.shard.worker.ShardWorker` replicas, a
+:class:`~repro.shard.router.Router` over them, and offers:
+
+- :meth:`build` — the offline pipeline: sample the full sketch **once**,
+  split it with :meth:`ShardPlan.partition_store`, and warm (and persist,
+  when the engine config has an artifact dir) every replica's sub-sketch —
+  so serving never pays a per-worker cold sampling pass;
+- :meth:`publish` — the online fan-out with the exact keyword signature
+  :meth:`DynamicService.add_publish_hook
+  <repro.dynamic.serving.DynamicService.add_publish_hook>` calls, so a
+  dynamic graph's repaired epochs propagate to every shard atomically
+  from the cluster's point of view;
+- :meth:`kill` / :meth:`revive` — deterministic fault injection at
+  replica or whole-shard granularity, mirrored by the CLI's JSON ops so
+  CI can exercise failover over the wire.
+
+Everything runs in one process; "workers" model separate serving
+processes the way :mod:`repro.runtime.simmachine` models parallel
+hardware — state is strictly per-worker, and all cross-worker
+communication flows through the router's scatter-gather calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.parallel_sampling import parallel_generate
+from repro.errors import ParameterError
+from repro.graph.datasets import load_dataset
+from repro.graph.io import graph_fingerprint
+from repro.runtime.backends import SerialBackend
+from repro.service.artifacts import sketch_fingerprint
+from repro.service.engine import EngineConfig
+from repro.service.protocol import IMQuery, IMResponse
+from repro.shard.plan import ShardPlan, shard_fingerprint
+from repro.shard.router import Router, RouterConfig
+from repro.shard.worker import ShardWorker, SketchSpec
+
+__all__ = ["ShardCluster"]
+
+
+class ShardCluster:
+    """Owns the workers of one :class:`ShardPlan` plus their router."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        *,
+        engine_config: EngineConfig | None = None,
+        router_config: RouterConfig | None = None,
+        sampling_workers: int = 1,
+        dataset_scale: float = 1.0,
+    ):
+        self.plan = plan
+        self.workers: list[ShardWorker] = [
+            ShardWorker(
+                s,
+                plan,
+                replica_id=r,
+                config=engine_config,
+                sampling_workers=sampling_workers,
+                dataset_scale=dataset_scale,
+            )
+            for s in range(plan.num_shards)
+            for r in range(plan.replication)
+        ]
+        self.router = Router(self.workers, config=router_config)
+        self.sampling_workers = int(sampling_workers)
+        self.dataset_scale = float(dataset_scale)
+        self._installed: dict[str, Any] = {}
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        for w in self.workers:
+            w.close()
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- lookup
+    def worker(self, shard: int, replica: int = 0) -> ShardWorker:
+        for w in self.workers:
+            if w.shard_id == shard and w.replica_id == replica:
+                return w
+        raise ParameterError(
+            f"no worker {self.plan.worker_name(shard, replica)} in this cluster"
+        )
+
+    def replicas(self, shard: int) -> list[ShardWorker]:
+        return [w for w in self.workers if w.shard_id == shard]
+
+    # ----------------------------------------------------------------- faults
+    def kill(self, shard: int, replica: int | None = None) -> list[str]:
+        """Kill one replica, or the whole shard when ``replica`` is None;
+        returns the names of the workers taken down."""
+        targets = (
+            self.replicas(shard)
+            if replica is None
+            else [self.worker(shard, replica)]
+        )
+        if not targets:
+            raise ParameterError(f"shard {shard} has no workers")
+        for w in targets:
+            w.kill()
+        return [w.name for w in targets]
+
+    def revive(self, shard: int, replica: int | None = None) -> list[str]:
+        targets = (
+            self.replicas(shard)
+            if replica is None
+            else [self.worker(shard, replica)]
+        )
+        for w in targets:
+            w.revive()
+        return [w.name for w in targets]
+
+    # ------------------------------------------------------------------ build
+    def build(self, spec: SketchSpec) -> dict[str, Any]:
+        """Offline pipeline: one full sampling pass, partitioned and warmed
+        (plus persisted, with an artifact dir) into every replica.
+
+        The full sketch exists only transiently here; afterwards each
+        worker holds — in memory and on disk — just its shard's slice.
+        """
+        tel = telemetry.get()
+        graph = self._installed.get(spec.dataset)
+        if graph is None:
+            graph = load_dataset(
+                spec.dataset, model=spec.model, seed=spec.seed,
+                scale=self.dataset_scale,
+            )
+        gfp = graph_fingerprint(graph)
+        fp = sketch_fingerprint(
+            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
+        )
+        with tel.span(
+            "shard.build", dataset=spec.dataset, num_sets=spec.num_sets,
+            num_shards=self.plan.num_shards,
+        ):
+            full = parallel_generate(
+                graph, spec.model, spec.num_sets,
+                num_workers=self.sampling_workers, seed=spec.seed,
+                backend=SerialBackend(),
+            )
+            parts = self.plan.partition_store(full, fp).trim()
+        return self._adopt(spec, fp, parts)
+
+    def publish(
+        self,
+        *,
+        dataset: str,
+        graph: Any,
+        fingerprint: str,
+        store: Any,
+        counter: np.ndarray | None = None,  # noqa: ARG002 - hook signature
+        meta: dict | None = None,
+    ) -> dict[str, Any]:
+        """Online fan-out of an externally built sketch (the
+        :class:`DynamicService` publish-hook target).
+
+        Installs ``graph`` on every worker under ``dataset`` and warms each
+        shard's slice of ``store`` (keyed by ``fingerprint``).  Per-shard
+        counters are rebuilt from the slices — the global ``counter`` is
+        accepted for signature compatibility but each shard needs its own
+        partial.
+        """
+        ds = str(dataset).lower()
+        self._installed[ds] = graph
+        for w in self.workers:
+            w.install_graph(ds, graph)
+        parts = self.plan.partition_store(store, fingerprint).trim()
+        extra = dict(meta or {})
+        spec = SketchSpec(
+            dataset=ds,
+            model=str(extra.get("model", "IC")).upper(),
+            epsilon=float(extra.get("epsilon", 0.5)),
+            seed=int(extra.get("seed", 0)),
+            num_sets=int(extra.get("num_sets", len(store))),
+        )
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("shard.publishes").inc()
+        return self._adopt(spec, fingerprint, parts, meta=extra)
+
+    def _adopt(
+        self,
+        spec: SketchSpec,
+        fp: str,
+        parts,
+        *,
+        meta: dict | None = None,
+    ) -> dict[str, Any]:
+        """Warm (and persist) each shard's partition into its replicas."""
+        summary = []
+        for shard in range(self.plan.num_shards):
+            sub = parts.parts[shard]
+            counter = sub.vertex_counts()
+            sub_fp = shard_fingerprint(fp, shard, self.plan)
+            shard_meta = {
+                **(meta or {}),
+                "dataset": spec.dataset, "model": spec.model,
+                "epsilon": spec.epsilon, "seed": spec.seed,
+                "num_sets": spec.num_sets, "shard": shard,
+                "num_shards": self.plan.num_shards,
+                "strategy": self.plan.strategy,
+            }
+            for w in self.replicas(shard):
+                arts = w.engine.artifacts
+                if (
+                    arts is not None
+                    and w.engine.config.persist
+                    and not arts.has_sketch(sub_fp)
+                ):
+                    arts.save_sketch(
+                        sub_fp, sub, counter=counter, meta=shard_meta
+                    )
+                    w.engine.stats.artifact_saves += 1
+                w.engine.warm(sub_fp, sub, counter=counter, meta=shard_meta)
+            summary.append(
+                {
+                    "shard": shard,
+                    "shard_fingerprint": sub_fp,
+                    "num_sets": len(sub),
+                    "sketch_bytes": sub.nbytes(),
+                    "replicas": [w.name for w in self.replicas(shard)],
+                }
+            )
+        tel = telemetry.get()
+        if tel.enabled:
+            for row in summary:
+                tel.registry.gauge(
+                    f"shard.s{row['shard']}.sketch_bytes"
+                ).set(row["sketch_bytes"])
+                tel.registry.gauge(
+                    f"shard.s{row['shard']}.num_sets"
+                ).set(row["num_sets"])
+        return {
+            "fingerprint": fp,
+            "plan": self.plan.describe(),
+            "shards": summary,
+        }
+
+    # ---------------------------------------------------------------- serving
+    def install_graph(self, dataset: str, graph: Any) -> None:
+        """Install an in-memory graph on every worker (no sketch fan-out)."""
+        ds = str(dataset).lower()
+        self._installed[ds] = graph
+        for w in self.workers:
+            w.install_graph(ds, graph)
+
+    def query(self, query: IMQuery) -> IMResponse:
+        return self.router.query(query)
+
+    def execute(self, queries) -> list[IMResponse]:
+        return self.router.execute(queries)
+
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Router + per-worker counters as one JSON-able dict."""
+        snap = self.router.stats_snapshot()
+        snap["workers"] = [w.stats_snapshot() for w in self.workers]
+        return snap

@@ -1,0 +1,661 @@
+"""Scatter-gather query routing over a shard cluster.
+
+The :class:`Router` presents the same ``execute(queries) -> responses``
+surface as :class:`~repro.service.engine.QueryEngine`, but instead of one
+full sketch it drives one selection *session* per query group across every
+shard.  The merge is exact, not approximate:
+
+- the global fused counter is the **int64 sum** of per-shard partial
+  counters (disjoint set ownership makes occurrence counts additive);
+- each greedy round runs :func:`~repro.core.selection.efficient_select`'s
+  own loop at the router — ``argmax`` pick, scatter the pick, gather each
+  shard's newly covered entries, subtract, ``counts[chosen] = -1`` — so
+  integer arithmetic, tie-breaking (lowest id via ``np.argmax``), and the
+  all-covered fill path match the single-node kernel operation for
+  operation.  Under a fixed seed the returned seed sets are therefore
+  **byte-identical** to the single-node engine's.
+
+Failure handling (docs/sharding.md):
+
+- **replica failover**: every scatter call may be retried on the shard's
+  other replicas; the :class:`~repro.resilience.retry.RetryPolicy` decides
+  which errors are worth failing over (``BackendError``/``TimeoutError``
+  yes, ``ParameterError`` no) and how long to back off between replicas.
+  Because every call carries the full selection history, the surviving
+  replica transparently replays the session and the answer is unchanged —
+  a replica death mid-stream is invisible in the response.
+- **shard loss**: when *every* replica of a shard is down the router
+  drops the shard and **restarts the greedy selection from round zero**
+  over the survivors (nothing has been returned to the client yet, and
+  the surviving workers self-heal to the empty history on the next
+  call).  No answer ever mixes full-sketch and survivor-sketch
+  decisions: a degraded response is byte-identical to what a cluster of
+  only the surviving shards would have served, marked ``degraded:true``
+  (the same disclosure contract as the engine's stale-artifact
+  fallback).
+- **health tracking**: consecutive per-replica failures order future
+  replica attempts (healthy first) and are reported in
+  :meth:`stats_snapshot`; a soft per-call deadline flags slow workers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import BackendError, ParameterError, ReproError
+from repro.resilience.retry import RetryPolicy
+from repro.service.protocol import IMQuery, IMResponse
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import CoverResult, OpenInfo, ShardWorker, SketchSpec
+
+__all__ = ["Router", "RouterConfig", "RouterStats", "ShardDownError"]
+
+
+class ShardDownError(BackendError):
+    """Every replica of a shard refused a call (internal control flow).
+
+    Subclasses :class:`BackendError` so it inherits its exit code and
+    retryability; it never escapes :meth:`Router.execute`.
+    """
+
+    def __init__(self, shard: int, last: Exception):
+        super().__init__(f"shard {shard} is down: {last}")
+        self.shard = shard
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Routing knobs (the scatter-side analogue of ``EngineConfig``).
+
+    Attributes
+    ----------
+    default_theta:
+        Sketch size when a query has no ``theta_cap`` — must match the
+        single-node engine being compared against for byte-identity.
+    worker_deadline_s:
+        Soft per-scatter-call budget.  In-process workers cannot be
+        preempted, so a completed-but-late call is *used* (discarding it
+        would redo deterministic work for the same answer) but counted as
+        a deadline miss and charged against the replica's health.
+    retry:
+        Failover classification and backoff between replica attempts.
+        ``max_attempts`` bounds attempts **per replica** (first try
+        included); the router additionally tries every replica.
+    unhealthy_after:
+        Consecutive failures after which a replica is reported unhealthy
+        and deprioritised when ordering failover candidates.
+    allow_degraded:
+        Serve partial-coverage answers over the surviving shards when a
+        whole shard is down (``False`` turns shard loss into an error
+        response).
+    """
+
+    default_theta: int = 2000
+    worker_deadline_s: float | None = None
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(max_attempts=1))
+    unhealthy_after: int = 2
+    allow_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.default_theta <= 0:
+            raise ParameterError(
+                f"default_theta must be positive, got {self.default_theta}"
+            )
+        if self.unhealthy_after <= 0:
+            raise ParameterError(
+                f"unhealthy_after must be positive, got {self.unhealthy_after}"
+            )
+
+
+@dataclass
+class RouterStats:
+    """Cumulative router behaviour, mirrored to ``shard.*`` telemetry."""
+
+    queries: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    degraded: int = 0
+    batches: int = 0
+    scatter_calls: int = 0
+    failovers: int = 0
+    shard_losses: int = 0
+    resyncs: int = 0
+    deadline_misses: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {k: int(v) for k, v in self.__dict__.items()}
+
+
+@dataclass
+class _Pending:
+    index: int
+    query: IMQuery
+    submitted_at: float
+
+    def deadline(self) -> float | None:
+        if self.query.deadline_s is None:
+            return None
+        return self.submitted_at + self.query.deadline_s
+
+
+class _GroupSession:
+    """Mutable per-group selection state shared by the serve helpers."""
+
+    def __init__(self, sid: str, spec: SketchSpec, shards: list[int]):
+        self.sid = sid
+        self.spec = spec
+        self.live = list(shards)          # shards still participating
+        self.opens: dict[int, OpenInfo] = {}
+        self.history: list[int] = []      # seeds applied so far
+        self.counts: np.ndarray | None = None
+        self.chosen: np.ndarray | None = None
+        # covered[shard] = per-round newly covered local sets (live shards).
+        self.covered: dict[int, list[int]] = {}
+        self.lost_shard = False
+        self.needs_restart = False        # a shard died mid-selection
+
+    @property
+    def num_live_sets(self) -> int:
+        return sum(self.opens[s].num_local_sets for s in self.live)
+
+    def covered_rounds(self) -> np.ndarray:
+        """Total newly covered sets per round, over the live shards."""
+        rounds = len(self.history)
+        out = np.zeros(rounds, dtype=np.int64)
+        for s in self.live:
+            rec = self.covered.get(s, [])
+            out[: len(rec)] += np.asarray(rec[:rounds], dtype=np.int64)
+        return out
+
+
+class Router:
+    """Routes :class:`IMQuery` batches across a cluster of shard workers."""
+
+    def __init__(
+        self,
+        workers: Sequence[ShardWorker],
+        *,
+        config: RouterConfig | None = None,
+        plan: ShardPlan | None = None,
+    ):
+        if not workers:
+            raise ParameterError("a Router needs at least one worker")
+        self.plan = plan or workers[0].plan
+        for w in workers:
+            if w.plan != self.plan:
+                raise ParameterError(
+                    f"worker {w.name} built for a different ShardPlan"
+                )
+        self.config = config or RouterConfig()
+        self._replicas: dict[int, list[ShardWorker]] = {}
+        for w in workers:
+            self._replicas.setdefault(w.shard_id, []).append(w)
+        missing = [
+            s for s in range(self.plan.num_shards) if s not in self._replicas
+        ]
+        if missing:
+            raise ParameterError(f"no workers for shards {missing}")
+        for reps in self._replicas.values():
+            reps.sort(key=lambda w: w.replica_id)
+        self._failures: dict[str, int] = {w.name: 0 for w in workers}
+        self.stats = RouterStats()
+        self._session_seq = 0
+
+    # ----------------------------------------------------------------- public
+    def query(self, query: IMQuery) -> IMResponse:
+        """Serve a single query (a one-element :meth:`execute` batch)."""
+        return self.execute([query])[0]
+
+    def execute(self, queries: Sequence[IMQuery]) -> list[IMResponse]:
+        """Serve a batch; same grouping and per-query error isolation as
+        :meth:`QueryEngine.execute` — one poisoned query never takes down
+        its batch, and responses come back in submission order."""
+        submitted_at = time.monotonic()
+        responses: list[IMResponse | None] = [None] * len(queries)
+        groups: dict[tuple, list[_Pending]] = {}
+        for i, q in enumerate(queries):
+            try:
+                q.validate()
+            except ParameterError as exc:
+                responses[i] = self._finish_error(q, exc, submitted_at)
+                continue
+            groups.setdefault(q.batch_key(), []).append(
+                _Pending(i, q, submitted_at)
+            )
+        for pending in groups.values():
+            for p, resp in self._serve_group(pending):
+                responses[p.index] = resp
+        self._project_stats()
+        return [
+            r if r is not None
+            else IMResponse(status="error", error="internal: query dropped")
+            for r in responses
+        ]
+
+    def health_snapshot(self) -> dict[str, Any]:
+        """Per-replica consecutive-failure counts and up/down state."""
+        out = {}
+        for shard, reps in sorted(self._replicas.items()):
+            out[str(shard)] = {
+                w.name: {
+                    "consecutive_failures": self._failures[w.name],
+                    "healthy": (
+                        self._failures[w.name] < self.config.unhealthy_after
+                    ),
+                }
+                for w in reps
+            }
+        return out
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Router + per-shard health as one JSON-able dict."""
+        return {
+            "router": self.stats.to_dict(),
+            "plan": self.plan.describe(),
+            "health": self.health_snapshot(),
+        }
+
+    # ------------------------------------------------------------- scattering
+    def _ordered_replicas(self, shard: int) -> list[ShardWorker]:
+        """Healthy-first replica order (stable by replica id on ties)."""
+        return sorted(
+            self._replicas[shard], key=lambda w: self._failures[w.name]
+        )
+
+    def _call(self, shard: int, op: Callable[[ShardWorker], Any]) -> Any:
+        """Run ``op`` on some replica of ``shard``, failing over through the
+        others on retryable errors; raises :class:`ShardDownError` when
+        every replica refused."""
+        tel = telemetry.get()
+        policy = self.config.retry
+        deadline = self.config.worker_deadline_s
+        last: Exception | None = None
+        replicas = self._ordered_replicas(shard)
+        for nth, worker in enumerate(replicas):
+            for attempt in range(1, max(1, policy.max_attempts) + 1):
+                self.stats.scatter_calls += 1
+                start = time.monotonic()
+                try:
+                    result = op(worker)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    if not policy.is_retryable(exc):
+                        raise
+                    last = exc
+                    self._failures[worker.name] += 1
+                    if tel.enabled:
+                        tel.registry.counter("shard.router.replica_errors").inc()
+                    delay = policy.delay_for(attempt)
+                    if delay > 0 and attempt < policy.max_attempts:
+                        time.sleep(delay)
+                    continue
+                elapsed = time.monotonic() - start
+                if tel.enabled:
+                    tel.registry.histogram(
+                        "shard.router.call_latency_s"
+                    ).observe(elapsed)
+                if deadline is not None and elapsed > deadline:
+                    self.stats.deadline_misses += 1
+                    self._failures[worker.name] += 1
+                    if tel.enabled:
+                        tel.registry.counter(
+                            "shard.router.deadline_misses"
+                        ).inc()
+                else:
+                    self._failures[worker.name] = 0
+                if nth > 0:
+                    self.stats.failovers += 1
+                    if tel.enabled:
+                        tel.registry.counter("shard.router.failovers").inc()
+                return result
+        raise ShardDownError(shard, last or BackendError("no replicas"))
+
+    # ---------------------------------------------------------------- serving
+    def _open_sessions(self, sess: _GroupSession) -> None:
+        """Scatter ``session_open``; drops shards whose replicas are all
+        down (handled by the caller via ``sess.live``)."""
+        tel = telemetry.get()
+        still_live = []
+        for shard in sess.live:
+            try:
+                info = self._call(
+                    shard,
+                    lambda w: w.session_open(
+                        sess.sid, sess.spec, with_counts=True
+                    ),
+                )
+            except ShardDownError:
+                self._note_shard_loss(sess, shard)
+                continue
+            sess.opens[shard] = info
+            sess.covered[shard] = []
+            still_live.append(shard)
+        sess.live = still_live
+        if tel.enabled:
+            tel.registry.histogram("shard.router.gather_fanin").observe(
+                len(still_live)
+            )
+
+    def _note_shard_loss(self, sess: _GroupSession, shard: int) -> None:
+        sess.lost_shard = True
+        self.stats.shard_losses += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("shard.router.shard_losses").inc()
+
+    def _sum_counters(self, sess: _GroupSession) -> np.ndarray:
+        """Exact global counter: int64 sum of per-shard partials."""
+        n = sess.opens[sess.live[0]].num_vertices
+        counts = np.zeros(n, dtype=np.int64)
+        for s in sess.live:
+            c = sess.opens[s].counter
+            if c is not None:
+                counts += c.astype(np.int64, copy=False)
+        return counts
+
+    def _drop_shard(self, sess: _GroupSession, lost: int) -> None:
+        """A shard died mid-selection: drop it and flag a restart."""
+        sess.live = [s for s in sess.live if s != lost]
+        sess.needs_restart = True
+        self._note_shard_loss(sess, lost)
+
+    def _scatter_cover(self, sess: _GroupSession, v: int) -> int:
+        """One greedy round's scatter: apply seed ``v`` on every live shard,
+        gather decrements into the fused counter; returns the total newly
+        covered sets.  A shard lost here flags a selection restart."""
+        tel = telemetry.get()
+        history = tuple(sess.history)
+        new_covered = 0
+        n = sess.counts.shape[0]
+        for s in list(sess.live):
+            try:
+                res: CoverResult = self._call(
+                    s,
+                    lambda w: w.session_cover(sess.sid, sess.spec, history, v),
+                )
+            except ShardDownError:
+                self._drop_shard(sess, s)
+                return new_covered
+            if res.dec.size:
+                sess.counts -= np.bincount(res.dec, minlength=n).astype(
+                    np.int64
+                )
+            sess.covered[s].append(res.new_covered)
+            new_covered += res.new_covered
+        if tel.enabled:
+            tel.registry.histogram("shard.router.gather_fanin").observe(
+                len(sess.live)
+            )
+        return new_covered
+
+    def _select(self, sess: _GroupSession, k_max: int) -> np.ndarray:
+        """Run the selection, restarting over the survivors on shard loss.
+
+        A restart (rather than splicing a partially full-sketch-informed
+        prefix onto survivor-only rounds) keeps the degraded contract
+        exact: the answer equals what a cluster holding only the surviving
+        shards would have produced from scratch.  Surviving workers
+        self-heal to the empty history on the first post-restart call, and
+        each restart removes at least one shard, so the loop is bounded.
+        """
+        while True:
+            seeds = self._select_pass(sess, k_max)
+            if seeds is not None:
+                return seeds
+            if not sess.live:
+                raise ShardDownError(
+                    -1, BackendError("all shards lost mid-query")
+                )
+            self.stats.resyncs += 1
+            self._tel_inc("shard.router.resyncs")
+
+    def _select_pass(self, sess: _GroupSession, k_max: int) -> np.ndarray | None:
+        """The exact :func:`efficient_select` greedy loop, scatter-gathered;
+        returns None when a shard was lost mid-pass (caller restarts).
+
+        Round structure is copied operation-for-operation from the kernel:
+        ``argmax`` (np.argmax == lowest-id tie-break), membership+retire
+        (scattered), counter decrement (gathered), ``counts[chosen] = -1``,
+        and the all-covered lowest-id fill — which is what makes the output
+        byte-identical to the single-node engine."""
+        sess.needs_restart = False
+        sess.history = []
+        for s in sess.live:
+            sess.covered[s] = []
+        sess.counts = self._sum_counters(sess)
+        n = sess.counts.shape[0]
+        sess.chosen = np.zeros(n, dtype=bool)
+        seeds = np.empty(k_max, dtype=np.int64)
+        covered_total = 0
+        rnd = 0
+        while rnd < k_max:
+            v = int(np.argmax(sess.counts))
+            seeds[rnd] = v
+            sess.chosen[v] = True
+            covered_total += self._scatter_cover(sess, v)
+            if sess.needs_restart:
+                return None
+            sess.history.append(v)
+            sess.counts[sess.chosen] = -1
+            num_sets = sess.num_live_sets
+            if covered_total >= num_sets and rnd + 1 < k_max:
+                fill = np.flatnonzero(~sess.chosen)[: k_max - rnd - 1]
+                seeds[rnd + 1 : rnd + 1 + fill.size] = fill
+                for fv in fill.tolist():
+                    sess.chosen[fv] = True
+                    sess.history.append(int(fv))
+                    for s in sess.live:
+                        sess.covered[s].append(0)
+                break
+            rnd += 1
+        return seeds
+
+    def _serve_group(
+        self, pending: list[_Pending]
+    ) -> list[tuple[_Pending, IMResponse]]:
+        tel = telemetry.get()
+        out: list[tuple[_Pending, IMResponse]] = []
+        self.stats.batches += 1
+        pending = self._split_expired(pending, out)
+        if not pending:
+            return out
+
+        q0 = pending[0].query
+        spec = SketchSpec.from_query(q0, self.config.default_theta)
+        self._session_seq += 1
+        sess = _GroupSession(
+            f"g{self._session_seq}", spec, list(range(self.plan.num_shards))
+        )
+        with tel.span(
+            "shard.route", dataset=spec.dataset, size=len(pending)
+        ):
+            try:
+                self._open_sessions(sess)
+                if not sess.live:
+                    raise BackendError(
+                        "all shards down: no replica could open the session"
+                    )
+                if sess.lost_shard and not self.config.allow_degraded:
+                    raise BackendError(
+                        "shard down and degraded answers are disabled"
+                    )
+                if sess.num_live_sets == 0:
+                    raise ParameterError(
+                        "cannot select seeds from an empty RRR store"
+                    )
+            except ReproError as exc:
+                for p in pending:
+                    out.append(
+                        (p, self._finish_error(p.query, exc, p.submitted_at))
+                    )
+                self._close_sessions(sess)
+                return out
+
+            num_vertices = sess.opens[sess.live[0]].num_vertices
+            live: list[_Pending] = []
+            for p in pending:
+                if p.query.k > num_vertices:
+                    exc = ParameterError(
+                        f"k={p.query.k} exceeds the vertex count {num_vertices}"
+                    )
+                    out.append(
+                        (p, self._finish_error(p.query, exc, p.submitted_at))
+                    )
+                else:
+                    live.append(p)
+            if not live:
+                self._close_sessions(sess)
+                return out
+
+            cached = all(sess.opens[s].warm for s in sess.live)
+            k_max = max(p.query.k for p in live)
+            try:
+                seeds = self._select(sess, k_max)
+            except ReproError as exc:
+                if sess.lost_shard and not self.config.allow_degraded:
+                    exc = BackendError(
+                        f"shard down and degraded answers are disabled ({exc})"
+                    )
+                for p in live:
+                    out.append(
+                        (p, self._finish_error(p.query, exc, p.submitted_at))
+                    )
+                self._close_sessions(sess)
+                return out
+
+            if sess.lost_shard and not self.config.allow_degraded:
+                exc = BackendError(
+                    "shard down and degraded answers are disabled"
+                )
+                for p in live:
+                    out.append(
+                        (p, self._finish_error(p.query, exc, p.submitted_at))
+                    )
+                self._close_sessions(sess)
+                return out
+
+            covered = np.cumsum(sess.covered_rounds())
+            num_sets = sess.num_live_sets
+            degraded = sess.lost_shard
+
+        for p in live:
+            if self._expired(p):
+                out.append((p, self._finish_timeout(p)))
+                continue
+            k = p.query.k
+            coverage = float(covered[k - 1]) / num_sets if num_sets else 0.0
+            out.append(
+                (
+                    p,
+                    self._finish_ok(
+                        p, seeds[:k], coverage, num_vertices, num_sets,
+                        cached, degraded=degraded,
+                    ),
+                )
+            )
+        self._close_sessions(sess)
+        return out
+
+    def _close_sessions(self, sess: _GroupSession) -> None:
+        for s in sess.live:
+            for w in self._replicas[s]:
+                w.session_close(sess.sid)
+
+    # ------------------------------------------------------------- responses
+    def _finish_error(
+        self, query: IMQuery, exc: Exception, submitted_at: float
+    ) -> IMResponse:
+        self.stats.queries += 1
+        self.stats.errors += 1
+        self._tel_inc("shard.router.queries")
+        self._tel_inc("shard.router.errors")
+        return IMResponse(
+            status="error",
+            id=query.id,
+            error=f"{type(exc).__name__}: {exc}",
+            latency_s=time.monotonic() - submitted_at,
+        )
+
+    def _finish_timeout(self, p: _Pending) -> IMResponse:
+        self.stats.queries += 1
+        self.stats.timeouts += 1
+        self._tel_inc("shard.router.queries")
+        self._tel_inc("shard.router.timeouts")
+        return IMResponse(
+            status="timeout",
+            id=p.query.id,
+            error=(
+                f"TimeoutError: deadline of {p.query.deadline_s}s exceeded "
+                f"after {time.monotonic() - p.submitted_at:.3f}s"
+            ),
+            latency_s=time.monotonic() - p.submitted_at,
+        )
+
+    def _finish_ok(
+        self,
+        p: _Pending,
+        seeds: np.ndarray,
+        coverage: float,
+        num_vertices: int,
+        num_sets: int,
+        cached: bool,
+        degraded: bool,
+    ) -> IMResponse:
+        latency = time.monotonic() - p.submitted_at
+        self.stats.queries += 1
+        self.stats.ok += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("shard.router.queries").inc()
+            tel.registry.histogram("shard.router.query_latency_s").observe(
+                latency
+            )
+        if degraded:
+            self.stats.degraded += 1
+            self._tel_inc("shard.router.degraded")
+            self._tel_inc("resilience.degraded_responses")
+        return IMResponse(
+            status="ok",
+            id=p.query.id,
+            seeds=[int(v) for v in seeds],
+            spread_estimate=num_vertices * coverage,
+            coverage_fraction=coverage,
+            num_rrrsets=num_sets,
+            cached=cached,
+            degraded=degraded,
+            latency_s=latency,
+        )
+
+    def _expired(self, p: _Pending) -> bool:
+        deadline = p.deadline()
+        return deadline is not None and time.monotonic() > deadline
+
+    def _split_expired(
+        self, pending: list[_Pending], out: list
+    ) -> list[_Pending]:
+        live: list[_Pending] = []
+        for p in pending:
+            if self._expired(p):
+                out.append((p, self._finish_timeout(p)))
+            else:
+                live.append(p)
+        return live
+
+    def _tel_inc(self, name: str, amount: float = 1) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter(name).inc(amount)
+
+    def _project_stats(self) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            telemetry.record_shard_stats(
+                tel.registry, self.stats, self.health_snapshot()
+            )

@@ -1,0 +1,489 @@
+"""One shard replica: a :class:`QueryEngine` over the shard's sub-sketch.
+
+A :class:`ShardWorker` is the in-process stand-in for one serving process
+of the cluster.  It owns a private :class:`~repro.service.engine.QueryEngine`
+whose warm layers hold only *this shard's* slice of each sketch — the
+byte-budget LRU cache, the fingerprint-keyed artifact store, and the
+engine's stats/telemetry all come along for free, keyed by
+:func:`~repro.shard.plan.shard_fingerprint` so sub-sketches of different
+plans never collide.
+
+Acquisition order mirrors the engine (docs/serving.md):
+
+1. the worker engine's in-memory cache (warm);
+2. a ``sketch-<shard_fp>.npz`` artifact written by ``repro shard build``
+   (or a previous cold pass) — integrity-checked, survives restarts;
+3. cold: the worker *streams* the deterministic sampling sequence of the
+   full sketch and keeps only the sets its shard owns, so its peak sketch
+   memory stays ``O(owned sets)`` even while deriving them from the global
+   sequence (the HBMax memory-per-worker discipline).  The sequence is
+   byte-identical to :func:`repro.core.parallel_sampling.parallel_generate`
+   for the same ``(seed, sampling_workers)``, which is what makes
+   scatter-gathered selection equal the single-node engine.
+
+The scatter protocol (``session_open`` / ``session_cover`` /
+``session_counts``) is deliberately self-healing: every call carries the
+selection history, so a replica that never saw the session — or fell out
+of sync after a presumed-failed call — silently rebuilds its state by
+replaying the history against its (identical) sub-sketch.  That replay is
+the whole failover story; the router never orchestrates recovery beyond
+re-sending the same call to the next replica.
+
+``kill()`` / ``fail_after()`` are deterministic fault hooks in the spirit
+of :mod:`repro.resilience.faults`: a dead worker raises
+:class:`~repro.errors.BackendError` (retryable under the default policy)
+on every operation until ``revive()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro import telemetry
+from repro._util import spawn_rngs
+from repro.core.sampling import reverse_sample_with_cost
+from repro.core.selection import segmented_membership
+from repro.diffusion.base import get_model
+from repro.errors import ArtifactError, BackendError, ParameterError
+from repro.graph.datasets import load_dataset
+from repro.graph.io import graph_fingerprint
+from repro.service.artifacts import sketch_fingerprint
+from repro.service.cache import CacheEntry
+from repro.service.engine import EngineConfig, QueryEngine
+from repro.service.protocol import IMQuery
+from repro.shard.plan import ShardPlan, shard_fingerprint
+from repro.sketch.store import FlatRRRStore
+
+__all__ = ["SketchSpec", "OpenInfo", "CoverResult", "ShardWorker", "WorkerStats"]
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """Everything that determines one serving sketch (a query batch key)."""
+
+    dataset: str
+    model: str = "IC"
+    epsilon: float = 0.5
+    seed: int = 0
+    num_sets: int = 2000
+
+    @classmethod
+    def from_query(cls, query: IMQuery, default_theta: int) -> "SketchSpec":
+        return cls(
+            dataset=query.dataset.lower(),
+            model=str(query.model).upper(),
+            epsilon=float(query.epsilon),
+            seed=int(query.seed),
+            num_sets=int(query.theta_cap or default_theta),
+        )
+
+    def key(self) -> tuple:
+        return (self.dataset, self.model, self.epsilon, self.seed, self.num_sets)
+
+
+@dataclass
+class OpenInfo:
+    """What a worker reports when a selection session opens."""
+
+    counter: np.ndarray | None
+    num_local_sets: int
+    num_vertices: int
+    warm: bool
+    sketch_bytes: int
+    fingerprint: str        # full-sketch fingerprint (cluster-wide)
+    shard_fingerprint: str  # this shard's sub-sketch key
+
+
+@dataclass
+class CoverResult:
+    """One shard's contribution to one selection round."""
+
+    dec: np.ndarray        # concatenated entries of newly covered local sets
+    new_covered: int       # how many local sets seed v newly covered
+    replayed: bool = False # state was rebuilt from history before covering
+
+
+@dataclass
+class WorkerStats:
+    """Cumulative per-worker behaviour (plain counters)."""
+
+    opens: int = 0
+    covers: int = 0
+    replays: int = 0
+    cold_builds: int = 0
+    artifact_loads: int = 0
+    warm_hits: int = 0
+    faults: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "opens": self.opens, "covers": self.covers,
+            "replays": self.replays, "cold_builds": self.cold_builds,
+            "artifact_loads": self.artifact_loads,
+            "warm_hits": self.warm_hits, "faults": self.faults,
+        }
+
+
+@dataclass
+class _Session:
+    """Selection state for one scatter-gather query group."""
+
+    spec: SketchSpec
+    entry: CacheEntry
+    active: np.ndarray          # bool per local set
+    covered: int = 0            # cover ops applied so far
+    history: list[int] = field(default_factory=list)
+
+
+class ShardWorker:
+    """One replica of one shard, wrapping a private :class:`QueryEngine`."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        plan: ShardPlan,
+        *,
+        replica_id: int = 0,
+        config: EngineConfig | None = None,
+        sampling_workers: int = 1,
+        dataset_scale: float = 1.0,
+    ):
+        if not (0 <= shard_id < plan.num_shards):
+            raise ParameterError(
+                f"shard_id {shard_id} out of range [0, {plan.num_shards})"
+            )
+        if not (0 <= replica_id < plan.replication):
+            raise ParameterError(
+                f"replica_id {replica_id} out of range [0, {plan.replication})"
+            )
+        self.shard_id = int(shard_id)
+        self.replica_id = int(replica_id)
+        self.plan = plan
+        self.name = plan.worker_name(shard_id, replica_id)
+        self.engine = QueryEngine(config=config or EngineConfig())
+        self.sampling_workers = int(sampling_workers)
+        self.dataset_scale = float(dataset_scale)
+        self.stats = WorkerStats()
+        self._sessions: dict[str, _Session] = {}
+        self._graphs: dict[tuple, tuple[Any, str]] = {}
+        self._installed: dict[str, tuple[Any, str]] = {}
+        self._dead = False
+        self._fail_after: int | None = None
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._sessions.clear()
+        self.engine.close()
+
+    def __enter__(self) -> "ShardWorker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self._dead else "up"
+        return f"ShardWorker({self.name}, {state})"
+
+    # ------------------------------------------------------------ fault hooks
+    def kill(self) -> None:
+        """Every subsequent operation fails with :class:`BackendError`."""
+        self._dead = True
+
+    def revive(self) -> None:
+        self._dead = False
+        self._fail_after = None
+
+    def fail_after(self, ops: int) -> None:
+        """Die permanently after ``ops`` more successful operations —
+        the deterministic "replica killed mid-stream" drill."""
+        if ops < 0:
+            raise ParameterError(f"ops must be >= 0, got {ops}")
+        self._fail_after = int(ops)
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def _checkpoint(self) -> None:
+        """Raise if this worker is (or just became) dead."""
+        if self._fail_after is not None:
+            if self._fail_after <= 0:
+                self._dead = True
+                self._fail_after = None
+            else:
+                self._fail_after -= 1
+        if self._dead:
+            self.stats.faults += 1
+            raise BackendError(f"shard worker {self.name} is down")
+
+    def ping(self) -> str:
+        """Cheap health probe; raises when the worker is down."""
+        self._checkpoint()
+        return self.name
+
+    # ---------------------------------------------------------------- graphs
+    def install_graph(self, dataset: str, graph: Any) -> str:
+        """Serve ``dataset`` from an in-memory graph (the dynamic epoch
+        fan-out hook); returns the graph fingerprint.  Mirrors
+        :meth:`QueryEngine.install_graph` so the wrapped engine agrees."""
+        ds = str(dataset).lower()
+        fp = self.engine.install_graph(ds, graph)
+        self._installed[ds] = (graph, fp)
+        for key in [k for k in self._graphs if k[0] == ds]:
+            del self._graphs[key]
+        return fp
+
+    def _resolve_graph(self, spec: SketchSpec) -> tuple[Any, str]:
+        installed = self._installed.get(spec.dataset)
+        if installed is not None:
+            return installed
+        key = (spec.dataset, spec.model, spec.seed)
+        hit = self._graphs.get(key)
+        if hit is None:
+            graph = load_dataset(
+                spec.dataset, model=spec.model, seed=spec.seed,
+                scale=self.dataset_scale,
+            )
+            hit = (graph, graph_fingerprint(graph))
+            self._graphs[key] = hit
+        return hit
+
+    # ------------------------------------------------------------ acquisition
+    def fingerprints(self, spec: SketchSpec) -> tuple[str, str]:
+        """(full-sketch fingerprint, this shard's sub-sketch fingerprint)."""
+        _, gfp = self._resolve_graph(spec)
+        fp = sketch_fingerprint(
+            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
+        )
+        return fp, shard_fingerprint(fp, self.shard_id, self.plan)
+
+    def _acquire(self, spec: SketchSpec) -> tuple[CacheEntry, bool, str, str]:
+        """(entry, warm, fp, shard_fp): cache → artifact → cold stream."""
+        graph, gfp = self._resolve_graph(spec)
+        fp = sketch_fingerprint(
+            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
+        )
+        sub_fp = shard_fingerprint(fp, self.shard_id, self.plan)
+        entry = self.engine.cache.get(sub_fp)
+        if entry is not None:
+            self.stats.warm_hits += 1
+            return entry, True, fp, sub_fp
+
+        meta = {
+            "dataset": spec.dataset, "model": spec.model,
+            "epsilon": spec.epsilon, "seed": spec.seed,
+            "num_sets": spec.num_sets, "shard": self.shard_id,
+            "num_shards": self.plan.num_shards,
+            "strategy": self.plan.strategy,
+        }
+        arts = self.engine.artifacts
+        if arts is not None and arts.has_sketch(sub_fp):
+            try:
+                store, counter, _ = arts.load_sketch(sub_fp)
+            except ArtifactError:
+                self.engine.stats.artifact_corrupt += 1
+                store = None
+            if store is not None:
+                if counter is None:
+                    counter = store.vertex_counts()
+                self.stats.artifact_loads += 1
+                self.engine.stats.artifact_loads += 1
+                self.engine.warm(sub_fp, store, counter=counter, meta=meta)
+                entry = self.engine.cache.get(sub_fp) or CacheEntry(
+                    store=store, counter=counter, meta=meta
+                )
+                return entry, True, fp, sub_fp
+
+        tel = telemetry.get()
+        with tel.span(
+            "shard.cold_build",
+            worker=self.name, fingerprint=fp, num_sets=spec.num_sets,
+        ):
+            store = self._build_subsketch(graph, spec, fp)
+        counter = store.vertex_counts()
+        self.stats.cold_builds += 1
+        if tel.enabled:
+            tel.registry.counter("shard.worker.cold_builds").inc()
+        if arts is not None and self.engine.config.persist:
+            arts.save_sketch(sub_fp, store, counter=counter, meta=meta)
+            self.engine.stats.artifact_saves += 1
+        self.engine.warm(sub_fp, store, counter=counter, meta=meta)
+        entry = self.engine.cache.get(sub_fp) or CacheEntry(
+            store=store, counter=counter, meta=meta
+        )
+        return entry, False, fp, sub_fp
+
+    def _build_subsketch(
+        self, graph: Any, spec: SketchSpec, fingerprint: str
+    ) -> FlatRRRStore:
+        """Cold path: derive this shard's slice of the global sequence.
+
+        Replays :func:`parallel_generate`'s exact ordering — per-sampling-
+        worker seed streams, worker 0's sets first — appending only owned
+        global indices, so memory stays proportional to the owned slice.
+        The ``"balanced"`` strategy needs all set sizes up front and so
+        cannot stream; it materialises the full sketch transiently (prefer
+        ``repro shard build`` artifacts for that layout).
+        """
+        if self.plan.strategy == "balanced":
+            from repro.core.parallel_sampling import parallel_generate
+            from repro.runtime.backends import SerialBackend
+
+            full = parallel_generate(
+                graph, spec.model, spec.num_sets,
+                num_workers=self.sampling_workers, seed=spec.seed,
+                backend=SerialBackend(),
+            )
+            mask = self.plan.owned_mask(
+                fingerprint, len(full), self.shard_id, sizes=full.sizes()
+            )
+            store = FlatRRRStore(graph.num_vertices, sort_sets=True)
+            for i in np.flatnonzero(mask).tolist():
+                store.append(full.get(i))
+            return store.trim()
+
+        mask = self.plan.owned_mask(fingerprint, spec.num_sets, self.shard_id)
+        model = get_model(spec.model, graph)
+        n = graph.num_vertices
+        worker_seeds = [
+            int(r.integers(0, 2**62))
+            for r in spawn_rngs(spec.seed, self.sampling_workers)
+        ]
+        base, extra = divmod(spec.num_sets, self.sampling_workers)
+        store = FlatRRRStore(n, sort_sets=True)
+        g_index = 0
+        for w, wseed in enumerate(worker_seeds):
+            count = base + (1 if w < extra else 0)
+            rng = np.random.default_rng(wseed)
+            for _ in range(count):
+                root = int(rng.integers(0, n))
+                verts, _ = reverse_sample_with_cost(model, root, rng)
+                if mask[g_index]:
+                    store.append(np.sort(verts))
+                g_index += 1
+        return store.trim()
+
+    # ------------------------------------------------------- scatter protocol
+    def session_open(
+        self, session_id: str, spec: SketchSpec, *, with_counts: bool = True
+    ) -> OpenInfo:
+        """Start (or restart) a selection session; optionally return this
+        shard's partial fused counter (skipped when the router has it
+        cached)."""
+        self._checkpoint()
+        entry, warm, fp, sub_fp = self._acquire(spec)
+        self._sessions[session_id] = _Session(
+            spec=spec,
+            entry=entry,
+            active=np.ones(len(entry.store), dtype=bool),
+        )
+        self.stats.opens += 1
+        return OpenInfo(
+            counter=entry.counter.copy() if with_counts else None,
+            num_local_sets=len(entry.store),
+            num_vertices=entry.store.num_vertices,
+            warm=warm,
+            sketch_bytes=entry.store.nbytes(),
+            fingerprint=fp,
+            shard_fingerprint=sub_fp,
+        )
+
+    def _sync_session(
+        self, session_id: str, spec: SketchSpec, history: tuple[int, ...]
+    ) -> tuple[_Session, bool]:
+        """The session, replayed from ``history`` when absent or diverged."""
+        sess = self._sessions.get(session_id)
+        if (
+            sess is not None
+            and sess.spec == spec
+            and sess.covered == len(history)
+            and sess.history == list(history)
+        ):
+            return sess, False
+        # Fresh replica (failover) or diverged state (a call the router
+        # timed out on still mutated us): rebuild deterministically.
+        entry, _, _, _ = self._acquire(spec)
+        sess = _Session(
+            spec=spec,
+            entry=entry,
+            active=np.ones(len(entry.store), dtype=bool),
+        )
+        for v in history:
+            self._cover(sess, int(v))
+        self._sessions[session_id] = sess
+        self.stats.replays += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("shard.worker.replays").inc()
+        return sess, True
+
+    def _cover(self, sess: _Session, v: int) -> tuple[np.ndarray, int]:
+        store = sess.entry.store
+        new_sets = segmented_membership(store, v, sess.active)
+        sess.active[new_sets] = False
+        offsets, verts = store.offsets, store.vertices
+        chunks = [
+            verts[offsets[s] : offsets[s + 1]] for s in new_sets.tolist()
+        ]
+        dec = (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=np.int32)
+        )
+        sess.covered += 1
+        sess.history.append(int(v))
+        return dec, int(new_sets.size)
+
+    def session_cover(
+        self,
+        session_id: str,
+        spec: SketchSpec,
+        history: tuple[int, ...],
+        v: int,
+    ) -> CoverResult:
+        """Apply seed ``v``: retire local sets containing it and return
+        their concatenated entries (the router's counter decrements) plus
+        the newly covered count.  ``history`` is every seed already applied
+        to this session, enabling transparent replay on a fresh replica."""
+        self._checkpoint()
+        sess, replayed = self._sync_session(session_id, spec, tuple(history))
+        dec, new_covered = self._cover(sess, int(v))
+        self.stats.covers += 1
+        return CoverResult(dec=dec, new_covered=new_covered, replayed=replayed)
+
+    def session_counts(
+        self, session_id: str, spec: SketchSpec, history: tuple[int, ...]
+    ) -> np.ndarray:
+        """Partial fused counter over this shard's *uncovered* sets — the
+        resync gather the router runs after losing a shard mid-stream."""
+        self._checkpoint()
+        sess, _ = self._sync_session(session_id, spec, tuple(history))
+        store = sess.entry.store
+        entry_active = np.repeat(sess.active, store.sizes())
+        return np.bincount(
+            store.vertices[entry_active], minlength=store.num_vertices
+        ).astype(np.int64)
+
+    def session_close(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    # ------------------------------------------------------------------ misc
+    def sketch_bytes(self, spec: SketchSpec) -> int:
+        """Modelled bytes of this shard's sub-sketch (acquiring it if cold)."""
+        self._checkpoint()
+        entry, _, _, _ = self._acquire(spec)
+        return entry.store.nbytes()
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "shard": self.shard_id,
+            "replica": self.replica_id,
+            "dead": self._dead,
+            "worker": self.stats.to_dict(),
+            "engine": self.engine.stats_snapshot(),
+        }

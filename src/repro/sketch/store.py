@@ -358,6 +358,12 @@ class PartitionedRRRStore:
         ]
 
     def append(self, worker: int, vertices: np.ndarray) -> int:
+        # Explicit range check: Python's negative-index wraparound would
+        # otherwise silently file the set under the *last* partition.
+        if not (0 <= worker < self.num_workers):
+            raise IndexError(
+                f"worker {worker} out of range [0, {self.num_workers})"
+            )
         return self.parts[worker].append(vertices)
 
     def __len__(self) -> int:
@@ -413,3 +419,14 @@ class PartitionedRRRStore:
 
     def nbytes(self) -> int:
         return sum(p.nbytes() for p in self.parts)
+
+    def capacity_bytes(self) -> int:
+        """Physical footprint across partitions, growth slack included."""
+        return sum(p.capacity_bytes() for p in self.parts)
+
+    def trim(self) -> "PartitionedRRRStore":
+        """Trim every partition's growth slack (see
+        :meth:`FlatRRRStore.trim`); returns ``self`` for chaining."""
+        for part in self.parts:
+            part.trim()
+        return self

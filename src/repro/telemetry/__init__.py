@@ -46,6 +46,7 @@ from repro.telemetry.bridge import (
     record_access_counts,
     record_kernel_stats,
     record_service_stats,
+    record_shard_stats,
     record_stage_times,
 )
 from repro.telemetry.export import (
@@ -88,6 +89,7 @@ __all__ = [
     "record_kernel_stats",
     "record_access_counts",
     "record_service_stats",
+    "record_shard_stats",
     "record_stage_times",
     "write_metrics_json",
     "write_chrome_trace",

@@ -24,6 +24,7 @@ __all__ = [
     "record_access_counts",
     "record_stage_times",
     "record_service_stats",
+    "record_shard_stats",
 ]
 
 
@@ -72,6 +73,26 @@ def record_service_stats(registry, service: Any, cache: Any) -> None:
         registry.gauge(f"service.stats.{_slug(name)}").set(float(value))
     for name, value in cache.to_dict().items():
         registry.gauge(f"service.cache_stats.{_slug(name)}").set(float(value))
+
+
+def record_shard_stats(registry, stats: Any, health: Any = None) -> None:
+    """Project router-layer stats onto ``shard.*`` summary gauges.
+
+    The router increments the live ``shard.router.*`` *counters* (queries,
+    failovers, shard losses) at each event; this bridge mirrors the
+    cumulative :class:`~repro.shard.router.RouterStats` record — plus, when
+    given a health snapshot, the number of healthy replicas — as *gauges*
+    (idempotent — safe to call after every batch)."""
+    for name, value in stats.to_dict().items():
+        registry.gauge(f"shard.stats.{_slug(name)}").set(float(value))
+    if health is not None:
+        healthy = sum(
+            1
+            for replicas in health.values()
+            for state in replicas.values()
+            if state.get("healthy")
+        )
+        registry.gauge("shard.stats.healthy_replicas").set(healthy)
 
 
 def record_stage_times(registry, times: Any) -> None:

@@ -33,6 +33,7 @@ class TestVerbSurface:
         assert {
             "list", "datasets", "experiment", "run", "trace", "sweep",
             "extract-results", "validate", "query", "serve", "update",
+            "shard",
         } <= verbs
 
     def test_list_output_names_every_verb(self, capsys):

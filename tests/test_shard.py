@@ -1,0 +1,299 @@
+"""Tests for repro.shard: plans, workers, and the cluster pipeline.
+
+The router's end-to-end determinism and failure handling live in
+test_shard_router.py; this module covers the layers underneath — ownership
+assignment (consistent hashing, block/balanced), sub-sketch fingerprints,
+the worker's cold-streaming build (byte-identical to the partitioned full
+sketch), artifact round-trips, the self-healing session protocol, and the
+cluster build/publish fan-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel_sampling import parallel_generate
+from repro.errors import BackendError, ParameterError
+from repro.graph.io import graph_fingerprint
+from repro.runtime.backends import SerialBackend
+from repro.service.artifacts import sketch_fingerprint
+from repro.service.engine import EngineConfig
+from repro.shard import (
+    ShardCluster,
+    ShardPlan,
+    ShardWorker,
+    SketchSpec,
+    shard_fingerprint,
+)
+
+from conftest import make_graph
+
+THETA = 80  # sketch size used throughout (small => fast cold streams)
+
+
+def small_graph(n=40, seed=0):
+    """A connected-ish random digraph, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    edges = [(i, (i + 1) % n, 0.6) for i in range(n)]
+    for _ in range(3 * n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.append((int(u), int(v), 0.4))
+    return make_graph(edges, n=n)
+
+
+def spec_for(dataset="synth", num_sets=THETA):
+    return SketchSpec(dataset=dataset, num_sets=num_sets, seed=3)
+
+
+# ===================================================================== plans
+class TestShardPlan:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ShardPlan(num_shards=0)
+        with pytest.raises(ParameterError):
+            ShardPlan(num_shards=2, replication=0)
+        with pytest.raises(ParameterError):
+            ShardPlan(num_shards=2, strategy="roundrobin")
+        with pytest.raises(ParameterError):
+            ShardPlan(num_shards=2, virtual_nodes=0)
+        with pytest.raises(ParameterError):
+            ShardPlan(num_shards=2).assign_sets("fp", -1)
+
+    @pytest.mark.parametrize("strategy", ["hash", "block"])
+    def test_assignment_is_a_partition(self, strategy):
+        plan = ShardPlan(num_shards=4, strategy=strategy)
+        owners = plan.assign_sets("fp0", 200)
+        assert owners.shape == (200,)
+        assert owners.min() >= 0 and owners.max() < 4
+        masks = [plan.owned_mask("fp0", 200, s) for s in range(4)]
+        total = np.sum(masks, axis=0)
+        assert np.all(total == 1), "every set owned by exactly one shard"
+
+    def test_hash_assignment_deterministic_and_fingerprint_sensitive(self):
+        plan = ShardPlan(num_shards=4)
+        a = plan.assign_sets("fp0", 300)
+        assert np.array_equal(a, ShardPlan(num_shards=4).assign_sets("fp0", 300))
+        assert not np.array_equal(a, plan.assign_sets("fp1", 300))
+
+    def test_consistent_hashing_remaps_a_small_fraction(self):
+        """Adding a shard moves ~1/num_shards of the sets, not all of them."""
+        before = ShardPlan(num_shards=4).assign_sets("fp", 400)
+        after = ShardPlan(num_shards=5).assign_sets("fp", 400)
+        moved = float((before != after).mean())
+        assert moved < 0.40, f"{moved:.0%} of sets remapped by one new shard"
+
+    def test_hash_balance_is_reasonable(self):
+        owners = ShardPlan(num_shards=4).assign_sets("fp", 400)
+        counts = np.bincount(owners, minlength=4)
+        assert counts.min() > 0
+        assert counts.max() <= 3 * counts.min()
+
+    def test_balanced_needs_sizes(self):
+        plan = ShardPlan(num_shards=2, strategy="balanced")
+        with pytest.raises(ParameterError, match="sizes"):
+            plan.assign_sets("fp", 10)
+        sizes = np.array([10, 1, 1, 1, 10, 1])
+        owners = plan.assign_sets("fp", 6, sizes=sizes)
+        per_shard = np.bincount(owners, weights=sizes, minlength=2)
+        assert abs(per_shard[0] - per_shard[1]) <= 10
+
+    def test_partition_store_counters_sum_exactly(self):
+        g = small_graph()
+        full = parallel_generate(
+            g, "IC", THETA, num_workers=1, seed=3, backend=SerialBackend()
+        )
+        plan = ShardPlan(num_shards=3)
+        parts = plan.partition_store(full, "fp")
+        assert len(parts) == len(full)
+        total = np.zeros(g.num_vertices, dtype=np.int64)
+        for part in parts.parts:
+            total += part.vertex_counts()
+        assert np.array_equal(total, full.vertex_counts())
+
+    def test_shard_fingerprints_distinct(self):
+        p = ShardPlan(num_shards=4)
+        fps = {shard_fingerprint("fp", s, p) for s in range(4)}
+        assert len(fps) == 4
+        other = ShardPlan(num_shards=4, virtual_nodes=32)
+        assert shard_fingerprint("fp", 0, p) != shard_fingerprint("fp", 0, other)
+
+    def test_worker_naming_and_describe(self):
+        plan = ShardPlan(num_shards=2, replication=3)
+        assert plan.num_workers == 6
+        assert plan.worker_name(1, 2) == "s1r2"
+        d = plan.describe()
+        assert d["num_shards"] == 2 and d["num_workers"] == 6
+
+
+# =================================================================== workers
+class TestShardWorker:
+    def test_ctor_validates_ids(self):
+        plan = ShardPlan(num_shards=2)
+        with pytest.raises(ParameterError):
+            ShardWorker(2, plan)
+        with pytest.raises(ParameterError):
+            ShardWorker(0, plan, replica_id=1)
+
+    @pytest.mark.parametrize("strategy", ["hash", "block", "balanced"])
+    def test_cold_build_matches_partitioned_full_sketch(self, strategy):
+        """The streaming cold path derives exactly the owned slice of the
+        deterministic global sampling sequence."""
+        g = small_graph()
+        gfp = graph_fingerprint(g)
+        plan = ShardPlan(num_shards=3, strategy=strategy)
+        spec = spec_for()
+        full = parallel_generate(
+            g, "IC", THETA, num_workers=1, seed=spec.seed,
+            backend=SerialBackend(),
+        )
+        fp = sketch_fingerprint(gfp, "IC", spec.epsilon, spec.seed, THETA)
+        parts = plan.partition_store(full, fp)
+        for shard in range(3):
+            with ShardWorker(shard, plan) as w:
+                w.install_graph("synth", g)
+                info = w.session_open("s", spec)
+                assert info.fingerprint == fp
+                entry = w.engine.cache.get(info.shard_fingerprint)
+                expect = parts.parts[shard]
+                assert np.array_equal(entry.store.offsets, expect.offsets)
+                assert np.array_equal(entry.store.vertices, expect.vertices)
+                assert np.array_equal(
+                    info.counter, expect.vertex_counts()
+                )
+
+    def test_artifact_round_trip(self, tmp_path):
+        g = small_graph()
+        plan = ShardPlan(num_shards=2)
+        cfg = EngineConfig(artifact_dir=str(tmp_path))
+        spec = spec_for()
+        with ShardWorker(0, plan, config=cfg) as w:
+            w.install_graph("synth", g)
+            first = w.session_open("s", spec)
+            assert not first.warm and w.stats.cold_builds == 1
+        with ShardWorker(0, plan, config=cfg) as w2:
+            w2.install_graph("synth", g)
+            again = w2.session_open("s", spec)
+            assert again.warm
+            assert w2.stats.artifact_loads == 1 and w2.stats.cold_builds == 0
+            assert again.sketch_bytes == first.sketch_bytes
+
+    def test_warm_hit_on_second_open(self):
+        g = small_graph()
+        with ShardWorker(0, ShardPlan(num_shards=1)) as w:
+            w.install_graph("synth", g)
+            assert not w.session_open("a", spec_for()).warm
+            assert w.session_open("b", spec_for()).warm
+            assert w.stats.warm_hits == 1
+
+    def test_fault_hooks(self):
+        g = small_graph()
+        with ShardWorker(0, ShardPlan(num_shards=1)) as w:
+            w.install_graph("synth", g)
+            assert w.ping() == "s0r0"
+            w.kill()
+            assert w.dead
+            with pytest.raises(BackendError):
+                w.ping()
+            w.revive()
+            assert w.ping() == "s0r0"
+            w.fail_after(2)
+            assert w.ping() == "s0r0"
+            assert w.ping() == "s0r0"
+            with pytest.raises(BackendError):
+                w.ping()
+            with pytest.raises(BackendError):
+                w.ping()
+            with pytest.raises(ParameterError):
+                w.fail_after(-1)
+
+    def test_session_replay_matches_live_session(self):
+        """A fresh replica handed the history mid-stream gives the same
+        cover results as one that participated from the start."""
+        g = small_graph()
+        plan = ShardPlan(num_shards=2, replication=2)
+        spec = spec_for()
+        with ShardWorker(0, plan) as live, ShardWorker(
+            0, plan, replica_id=1
+        ) as fresh:
+            live.install_graph("synth", g)
+            fresh.install_graph("synth", g)
+            info = live.session_open("s", spec)
+            seeds = np.argsort(info.counter)[::-1][:3].tolist()
+            history: list[int] = []
+            for v in seeds[:2]:
+                live.session_cover("s", spec, tuple(history), v)
+                history.append(v)
+            a = live.session_cover("s", spec, tuple(history), seeds[2])
+            b = fresh.session_cover("s", spec, tuple(history), seeds[2])
+            assert b.replayed and not a.replayed
+            assert fresh.stats.replays == 1
+            assert a.new_covered == b.new_covered
+            assert np.array_equal(np.sort(a.dec), np.sort(b.dec))
+
+    def test_session_counts_tracks_uncovered_sets(self):
+        g = small_graph()
+        spec = spec_for()
+        with ShardWorker(0, ShardPlan(num_shards=1)) as w:
+            w.install_graph("synth", g)
+            info = w.session_open("s", spec)
+            assert np.array_equal(
+                w.session_counts("s", spec, ()), info.counter
+            )
+            v = int(np.argmax(info.counter))
+            res = w.session_cover("s", spec, (), v)
+            after = w.session_counts("s", spec, (v,))
+            assert int(info.counter.sum() - after.sum()) == res.dec.size
+            assert after[v] == 0
+
+    def test_session_close_forgets(self):
+        g = small_graph()
+        spec = spec_for()
+        with ShardWorker(0, ShardPlan(num_shards=1)) as w:
+            w.install_graph("synth", g)
+            w.session_open("s", spec)
+            w.session_close("s")
+            # Covering after close triggers a replay (state was dropped).
+            res = w.session_cover("s", spec, (), 0)
+            assert res.replayed
+
+
+# =================================================================== cluster
+class TestShardCluster:
+    def test_build_warms_every_replica(self, tmp_path):
+        g = small_graph()
+        plan = ShardPlan(num_shards=2, replication=2)
+        with ShardCluster(
+            plan, engine_config=EngineConfig(artifact_dir=str(tmp_path))
+        ) as cluster:
+            cluster.install_graph("synth", g)
+            summary = cluster.build(spec_for())
+            assert len(summary["shards"]) == 2
+            assert sum(s["num_sets"] for s in summary["shards"]) == THETA
+            for w in cluster.workers:
+                assert w.session_open("s", spec_for()).warm
+                assert w.stats.cold_builds == 0
+            # Artifacts persisted once per shard fingerprint.
+            names = {s["shard_fingerprint"] for s in summary["shards"]}
+            for sub_fp in names:
+                assert cluster.workers[0].engine.artifacts.has_sketch(sub_fp)
+
+    def test_kill_and_revive_granularity(self):
+        plan = ShardPlan(num_shards=2, replication=2)
+        with ShardCluster(plan) as cluster:
+            assert cluster.kill(0, 1) == ["s0r1"]
+            assert not cluster.worker(0, 0).dead
+            assert cluster.worker(0, 1).dead
+            assert set(cluster.kill(1)) == {"s1r0", "s1r1"}
+            cluster.revive(1)
+            assert not any(w.dead for w in cluster.replicas(1))
+            with pytest.raises(ParameterError):
+                cluster.worker(5, 0)
+
+    def test_stats_snapshot_shape(self):
+        with ShardCluster(ShardPlan(num_shards=2)) as cluster:
+            snap = cluster.stats_snapshot()
+            assert snap["plan"]["num_shards"] == 2
+            assert len(snap["workers"]) == 2
+            assert "router" in snap and "health" in snap

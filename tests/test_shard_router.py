@@ -1,0 +1,308 @@
+"""Router determinism and failure handling (the tentpole acceptance tests).
+
+The load-bearing claims: under a fixed seed, a sharded cluster of any
+shape returns **byte-identical** seed sets (and coverage/spread) to the
+single-node :class:`QueryEngine`; one replica killed mid-stream changes
+nothing visible; a whole shard down degrades to an answer that is *exact*
+over the surviving sub-sketch and flagged ``degraded:true``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.parallel_sampling import parallel_generate
+from repro.graph.io import graph_fingerprint
+from repro.resilience.retry import RetryPolicy
+from repro.runtime.backends import SerialBackend
+from repro.service import EngineConfig, IMQuery, QueryEngine, sketch_fingerprint
+from repro.dynamic import DynamicService
+from repro.errors import ParameterError
+from repro.shard import Router, RouterConfig, ShardCluster, ShardPlan
+
+from conftest import make_graph
+from test_shard import THETA, small_graph, spec_for
+
+SEED = 3
+
+
+def query(k=6, **kw):
+    kw.setdefault("dataset", "synth")
+    kw.setdefault("theta_cap", THETA)
+    kw.setdefault("seed", SEED)
+    return IMQuery(k=k, **kw)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return small_graph()
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    """Single-node engine answers for several k on the same sketch."""
+    with QueryEngine(config=EngineConfig()) as engine:
+        engine.install_graph("synth", graph)
+        resps = {k: engine.query(query(k=k)) for k in (1, 4, 6)}
+        batch = engine.execute([query(k=3), query(k=6), query(k=3)])
+    return resps, batch
+
+
+def make_cluster(graph, num_shards, replication=1, **router_kw):
+    plan = ShardPlan(num_shards=num_shards, replication=replication)
+    cluster = ShardCluster(
+        plan, router_config=RouterConfig(**router_kw) if router_kw else None
+    )
+    cluster.install_graph("synth", graph)
+    return cluster
+
+
+# ============================================================== determinism
+class TestByteIdenticalSelection:
+    @pytest.mark.parametrize("num_shards,replication", [(1, 1), (2, 2), (8, 2)])
+    def test_matches_single_node_engine(
+        self, graph, reference, num_shards, replication
+    ):
+        refs, _ = reference
+        with make_cluster(graph, num_shards, replication) as cluster:
+            for k, ref in refs.items():
+                resp = cluster.query(query(k=k))
+                assert resp.status == "ok" and not resp.degraded
+                assert resp.seeds == ref.seeds, f"k={k} seeds diverge"
+                assert resp.coverage_fraction == ref.coverage_fraction
+                assert resp.spread_estimate == ref.spread_estimate
+                assert resp.num_rrrsets == ref.num_rrrsets
+
+    def test_batch_grouping_matches_engine(self, graph, reference):
+        _, ref_batch = reference
+        with make_cluster(graph, 4) as cluster:
+            batch = cluster.execute([query(k=3), query(k=6), query(k=3)])
+            assert [r.seeds for r in batch] == [r.seeds for r in ref_batch]
+            # One scatter group served all three queries (prefix property).
+            assert cluster.router.stats.batches == 1
+            assert batch[0].seeds == batch[1].seeds[:3]
+
+    def test_fill_path_matches_engine(self):
+        """k large enough to cover every set exercises the lowest-id fill."""
+        g = make_graph([(i, (i + 1) % 8, 1.0) for i in range(8)], n=8)
+        q = query(k=7, theta_cap=20)
+        with QueryEngine(config=EngineConfig()) as engine:
+            engine.install_graph("synth", g)
+            ref = engine.query(q)
+        with make_cluster(g, 3) as cluster:
+            resp = cluster.query(q)
+        assert resp.seeds == ref.seeds
+        assert resp.coverage_fraction == ref.coverage_fraction
+
+    def test_warm_second_query(self, graph):
+        with make_cluster(graph, 2) as cluster:
+            first = cluster.query(query())
+            second = cluster.query(query())
+            assert not first.cached and second.cached
+            assert first.seeds == second.seeds
+
+
+# ================================================================= failover
+class TestReplicaFailover:
+    def test_replica_killed_mid_stream_is_invisible(self, graph, reference):
+        refs, _ = reference
+        with make_cluster(graph, 2, replication=2) as cluster:
+            # Dies after 3 scatter ops: mid-selection, not at open.
+            cluster.worker(0, 0).fail_after(3)
+            resp = cluster.query(query(k=6))
+            assert resp.status == "ok" and not resp.degraded
+            assert resp.seeds == refs[6].seeds
+            assert cluster.router.stats.failovers >= 1
+            health = cluster.router.health_snapshot()
+            # One recorded failure; the router deprioritises the replica so
+            # it is never retried (and never reaches unhealthy_after=2).
+            assert health["0"]["s0r0"]["consecutive_failures"] >= 1
+
+    def test_replica_dead_at_open_is_invisible(self, graph, reference):
+        refs, _ = reference
+        with make_cluster(graph, 2, replication=2) as cluster:
+            cluster.kill(1, 0)
+            resp = cluster.query(query(k=6))
+            assert resp.status == "ok" and not resp.degraded
+            assert resp.seeds == refs[6].seeds
+
+    def test_retry_policy_classification_respected(self, graph):
+        """Non-retryable errors must not burn through replicas."""
+        with make_cluster(graph, 1, replication=2) as cluster:
+            calls = []
+            worker = cluster.worker(0, 0)
+            original = worker.session_open
+
+            def boom(*a, **kw):
+                calls.append(1)
+                raise ParameterError("bad")
+
+            worker.session_open = boom
+            resp = cluster.query(query())
+            assert resp.status == "error" and "ParameterError" in resp.error
+            assert len(calls) == 1, "ParameterError must not fail over"
+            worker.session_open = original
+
+    def test_failed_replica_deprioritised_then_recovers(self, graph):
+        with make_cluster(graph, 1, replication=2) as cluster:
+            cluster.worker(0, 0).kill()
+            cluster.query(query())
+            order = cluster.router._ordered_replicas(0)
+            assert order[0].name == "s0r1", "unhealthy replica tried last"
+            cluster.revive(0, 0)
+            assert cluster.query(query()).status == "ok"
+
+
+# =============================================================== shard loss
+class TestShardLoss:
+    def expected_degraded(self, graph, surviving_shards, plan, k):
+        """Single-node selection over only the surviving sub-sketch."""
+        gfp = graph_fingerprint(graph)
+        spec = spec_for()
+        fp = sketch_fingerprint(gfp, "IC", spec.epsilon, SEED, THETA)
+        full = parallel_generate(
+            graph, "IC", THETA, num_workers=1, seed=SEED,
+            backend=SerialBackend(),
+        )
+        owners = plan.assign_sets(fp, THETA, sizes=full.sizes())
+        from repro.sketch.store import FlatRRRStore
+
+        survivor = FlatRRRStore(graph.num_vertices, sort_sets=True)
+        for i in range(THETA):
+            if owners[i] in surviving_shards:
+                survivor.append(full.get(i))
+        with QueryEngine(config=EngineConfig()) as engine:
+            engine.install_graph("synth", graph)
+            engine.warm(fp, survivor)
+            return engine.query(query(k=k)), len(survivor)
+
+    def test_whole_shard_down_degrades_exactly(self, graph):
+        plan = ShardPlan(num_shards=2, replication=2)
+        with ShardCluster(plan) as cluster:
+            cluster.install_graph("synth", graph)
+            cluster.kill(1)
+            resp = cluster.query(query(k=5))
+            assert resp.status == "ok" and resp.degraded
+        ref, num_surviving = self.expected_degraded(graph, {0}, plan, k=5)
+        assert resp.seeds == ref.seeds
+        assert resp.num_rrrsets == num_surviving
+        assert resp.coverage_fraction == ref.coverage_fraction
+
+    def test_shard_lost_mid_query_degrades_exactly(self, graph):
+        plan = ShardPlan(num_shards=2, replication=1)
+        with ShardCluster(plan) as cluster:
+            cluster.install_graph("synth", graph)
+            cluster.query(query())  # warm both shards first
+            cluster.worker(1, 0).fail_after(2)
+            resp = cluster.query(query(k=5))
+            assert resp.status == "ok" and resp.degraded
+            assert cluster.router.stats.resyncs == 1
+        ref, _ = self.expected_degraded(graph, {0}, plan, k=5)
+        assert resp.seeds == ref.seeds
+        assert resp.coverage_fraction == ref.coverage_fraction
+
+    def test_all_shards_down_is_an_error(self, graph):
+        with make_cluster(graph, 2) as cluster:
+            cluster.kill(0)
+            cluster.kill(1)
+            resp = cluster.query(query())
+            assert resp.status == "error"
+            assert "all shards down" in resp.error
+
+    def test_no_degraded_config_turns_loss_into_error(self, graph):
+        with make_cluster(graph, 2, allow_degraded=False) as cluster:
+            cluster.kill(1)
+            resp = cluster.query(query())
+            assert resp.status == "error"
+            assert "degraded" in resp.error
+
+
+# ============================================================ router surface
+class TestRouterSurface:
+    def test_invalid_queries_isolated_in_batch(self, graph):
+        with make_cluster(graph, 2) as cluster:
+            responses = cluster.execute(
+                [query(k=6), IMQuery(dataset="synth", k=0), query(k=9999)]
+            )
+            assert responses[0].status == "ok"
+            assert responses[1].status == "error"
+            assert responses[2].status == "error"
+            assert "exceeds the vertex count" in responses[2].error
+
+    def test_unknown_dataset_errors(self):
+        with ShardCluster(ShardPlan(num_shards=2)) as cluster:
+            resp = cluster.query(query(dataset="no-such-dataset"))
+            assert resp.status == "error"
+
+    def test_expired_deadline_times_out(self, graph):
+        with make_cluster(graph, 2) as cluster:
+            resp = cluster.query(query(deadline_s=0.0))
+            assert resp.status == "timeout"
+
+    def test_worker_deadline_misses_counted_but_served(self, graph):
+        with make_cluster(graph, 2, worker_deadline_s=0.0) as cluster:
+            resp = cluster.query(query())
+            assert resp.status == "ok"
+            assert cluster.router.stats.deadline_misses > 0
+
+    def test_router_rejects_mismatched_workers(self, graph):
+        with ShardCluster(ShardPlan(num_shards=2)) as cluster:
+            with pytest.raises(ParameterError, match="no workers for shards"):
+                Router([cluster.workers[0]])
+            with pytest.raises(ParameterError):
+                Router([])
+
+    def test_retry_policy_backoff_is_used(self, graph):
+        """max_attempts > 1 retries the same replica before failing over."""
+        with ShardCluster(
+            ShardPlan(num_shards=1, replication=1),
+            router_config=RouterConfig(retry=RetryPolicy(max_attempts=3)),
+        ) as cluster:
+            cluster.install_graph("synth", graph)
+            cluster.worker(0, 0).fail_after(0)  # first op dies, then dead
+            resp = cluster.query(query())
+            assert resp.status == "error"
+            assert cluster.router.stats.scatter_calls >= 3
+
+    def test_telemetry_counters_emitted(self, graph):
+        with telemetry.session() as tel:
+            with make_cluster(graph, 2, replication=2) as cluster:
+                cluster.kill(0, 0)
+                cluster.query(query())
+            counters = tel.snapshot()["counters"]
+            assert counters.get("shard.router.queries", 0) >= 1
+            assert counters.get("shard.router.failovers", 0) >= 1
+            gauges = tel.snapshot()["gauges"]
+            assert "shard.stats.queries" in gauges
+            assert "shard.stats.healthy_replicas" in gauges
+
+
+# ======================================================== dynamic publishing
+class TestDynamicFanOut:
+    def test_publish_hook_keeps_cluster_in_lockstep(self, graph):
+        """Every epoch the DynamicService publishes reaches the shards, and
+        the cluster's answers match the service's engine exactly."""
+        from repro.dynamic.delta import EdgeUpdate
+
+        plan = ShardPlan(num_shards=2, replication=2)
+        with ShardCluster(plan) as cluster, DynamicService(
+            "synth", graph, num_sets=THETA, seed=SEED
+        ) as service:
+            service.add_publish_hook(cluster.publish)  # replays current epoch
+
+            def compare(k=5):
+                ref = service.query(k=k)
+                got = cluster.query(
+                    query(k=k, dataset="synth", theta_cap=THETA, seed=SEED)
+                )
+                assert got.status == "ok"
+                assert got.seeds == ref.seeds
+                assert got.coverage_fraction == ref.coverage_fraction
+
+            compare()
+            service.apply(
+                [EdgeUpdate("insert", 0, graph.num_vertices - 1, 0.9)]
+            )
+            compare()

@@ -182,6 +182,61 @@ class TestPartitionedRRRStore:
         assert merged.sort_sets is True
         assert merged.get(0).tolist() == [1, 2, 3]
 
+    def test_append_out_of_range_worker_raises(self):
+        s = PartitionedRRRStore(10, 3)
+        with pytest.raises(IndexError, match="out of range"):
+            s.append(3, np.array([1]))
+        with pytest.raises(IndexError, match="out of range"):
+            s.append(-1, np.array([1]))
+        assert len(s) == 0, "failed append must not land anywhere"
+
+    def test_merge_with_empty_partitions(self):
+        """Workers that produced nothing must not shift merged ordering."""
+        s = PartitionedRRRStore(10, 4)
+        s.append(1, np.array([5]))
+        s.append(3, np.array([6, 7]))
+        merged = s.merge()
+        assert len(merged) == 2
+        assert merged.get(0).tolist() == [5]
+        assert merged.get(1).tolist() == [6, 7]
+        assert s.sizes().tolist() == [1, 2]
+
+    def test_all_empty_round_trip(self):
+        s = PartitionedRRRStore(10, 3)
+        assert len(s) == 0 and s.total_entries == 0
+        assert list(s) == []
+        assert s.sizes().tolist() == []
+        assert len(s.merge()) == 0
+        with pytest.raises(IndexError):
+            s.get(0)
+
+    def test_single_partition_degenerate_plan(self):
+        """num_workers=1 must behave exactly like a flat store."""
+        s = PartitionedRRRStore(10, 1)
+        flat = FlatRRRStore(10)
+        rng = np.random.default_rng(7)
+        for _ in range(9):
+            verts = rng.integers(0, 10, size=rng.integers(1, 5))
+            s.append(0, verts)
+            flat.append(verts)
+        assert len(s) == len(flat)
+        for i in range(len(s)):
+            assert np.array_equal(s.get(i), flat.get(i))
+        assert [v.tolist() for v in s] == [v.tolist() for v in flat]
+        assert s.sizes().tolist() == flat.sizes().tolist()
+        assert np.array_equal(s.merge().vertices, flat.vertices[: flat.total_entries])
+
+    def test_trim_and_capacity_bytes(self):
+        s = PartitionedRRRStore(10, 2)
+        s.append(0, np.array([1, 2]))
+        s.append(1, np.array([3]))
+        before = s.capacity_bytes()
+        assert s.trim() is s
+        after = s.capacity_bytes()
+        assert after <= before
+        assert after >= s.nbytes() or s.nbytes() == 0
+        assert len(s) == 2 and s.total_entries == 3
+
 
 class TestFlatStoreAccessors:
     def test_trim_releases_slack(self):
