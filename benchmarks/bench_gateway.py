@@ -1,0 +1,165 @@
+"""Gateway overload bench (our addition): capacity, then load at multiples.
+
+The gateway's claim is not raw speed — the engines below it own that — but
+a *latency contract under overload*: with a bounded admission queue and a
+queue deadline, offered load beyond capacity is shed with structured
+``"overloaded"`` responses while the p99 of the queries that ARE accepted
+stays bounded by ``queue_deadline_s`` plus service time.  Without
+admission control the same overload turns into unbounded queueing, where
+every response is technically "ok" and practically useless.
+
+Protocol:
+
+1. **closed loop** against a warm engine measures capacity C (offered
+   load adapts to completions, so this is the sustainable ok-throughput);
+2. **open loop** offers ~0.5 x C (light) and ~4 x C (overload) at a
+   deliberately tiny queue (depth 2, 0.5 s queue deadline).  Light load
+   should mostly pass; overload must shed, keep answering, and keep the
+   accepted-query p99 under the deadline-derived bound.
+
+Both loops use the zipf-skewed k mix, so the engine's fingerprint
+batching is exercised the way real traffic would.  ``REPRO_BENCH_SMOKE=1``
+shrinks sketch size and durations for the CI benchmark-smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.report import Table
+from repro.gateway import GatewayConfig, LoadGenConfig, run_loadgen, serve_in_thread
+from repro.service import EngineConfig, IMQuery, QueryEngine
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+THETA = 300 if SMOKE else 1000
+DURATION_S = 1.0 if SMOKE else 3.0
+K_CHOICES = (3, 5, 8, 13)
+QUEUE_DEADLINE_S = 0.5
+#: Allowance on top of the queue deadline for one engine pass + transport.
+SERVICE_ALLOWANCE_S = 0.5
+SEED = 7
+
+
+def _loadcfg(**kw) -> LoadGenConfig:
+    kw.setdefault("k_choices", K_CHOICES)
+    kw.setdefault("theta_cap", THETA)
+    kw.setdefault("sketch_seed", SEED)
+    kw.setdefault("seed", SEED)
+    return LoadGenConfig(**kw)
+
+
+def test_gateway_capacity_and_overload(bench_record):
+    with QueryEngine(config=EngineConfig(default_theta=THETA)) as engine:
+        # One cold pass at k_max warms the sketch every later query reuses
+        # (greedy prefixes are consistent, so all k in the mix are warm).
+        engine.execute(
+            [IMQuery(dataset="amazon", k=max(K_CHOICES), theta_cap=THETA, seed=SEED)]
+        )
+
+        with serve_in_thread(
+            engine, config=GatewayConfig(queue_deadline_s=QUEUE_DEADLINE_S)
+        ) as srv:
+            closed = run_loadgen(
+                srv.host, srv.port,
+                _loadcfg(mode="closed", duration_s=DURATION_S, concurrency=4),
+            )
+        capacity_qps = max(closed["throughput_qps"], 10.0)
+
+        tight = GatewayConfig(
+            queue_depth=2, batch_max=1, batch_window_s=0.0,
+            queue_deadline_s=QUEUE_DEADLINE_S,
+        )
+
+        def open_run(rate_qps: float) -> dict:
+            n = int(max(40, min(400, rate_qps * DURATION_S)))
+            with serve_in_thread(engine, config=tight) as srv:
+                return run_loadgen(
+                    srv.host, srv.port,
+                    _loadcfg(
+                        mode="open", rate_per_s=rate_qps, total_requests=n,
+                        concurrency=8,
+                    ),
+                )
+
+        light = open_run(0.5 * capacity_qps)
+        overload = open_run(4.0 * capacity_qps)
+
+    table = Table(
+        "Gateway under offered load (tiny queue, 0.5s queue deadline)",
+        ["phase", "offered", "ok", "shed", "shed rate", "p50 ms", "p99 ms"],
+    )
+    for phase, s in (("0.5x capacity", light), ("4x capacity", overload)):
+        table.add_row(
+            phase, s["offered"], s["ok"], s["shed"],
+            f"{s['shed_rate']:.2f}", f"{s['p50_ms']:.1f}", f"{s['p99_ms']:.1f}",
+        )
+    print(table.render())
+
+    # The contract: past capacity the gateway answers every request (shed
+    # or served, never a hang or a bare error) and accepted queries stay
+    # inside the queue-deadline-derived latency bound.
+    assert overload["shed"] > 0, overload
+    assert overload["ok"] >= 1, overload
+    assert overload["error"] == 0, overload
+    assert overload["completed"] + overload["transport_errors"] == overload["offered"]
+    p99_bound_ms = (QUEUE_DEADLINE_S + SERVICE_ALLOWANCE_S) * 1e3
+    assert overload["p99_ms"] <= p99_bound_ms, overload
+    # Light load passes mostly untouched even at queue depth 2.
+    assert light["shed_rate"] <= overload["shed_rate"], (light, overload)
+
+    bench_record(
+        "gateway_overload",
+        capacity_qps=capacity_qps,
+        queue_deadline_s=QUEUE_DEADLINE_S,
+        p99_bound_ms=p99_bound_ms,
+        closed_p50_ms=closed["p50_ms"],
+        closed_p99_ms=closed["p99_ms"],
+        light_shed_rate=light["shed_rate"],
+        light_p99_ms=light["p99_ms"],
+        overload_shed_rate=overload["shed_rate"],
+        overload_ok=overload["ok"],
+        overload_p99_ms=overload["p99_ms"],
+        smoke=SMOKE,
+    )
+
+
+def test_gateway_coalescing_amortizes_selection(bench_record):
+    """Concurrent same-sketch clients should land in shared batches: the
+    per-query cost of a coalesced burst must undercut serial round-trips."""
+    import time
+
+    from repro.gateway import GatewayClient
+
+    with QueryEngine(config=EngineConfig(default_theta=THETA)) as engine:
+        engine.execute(
+            [IMQuery(dataset="amazon", k=max(K_CHOICES), theta_cap=THETA, seed=SEED)]
+        )
+        with serve_in_thread(
+            engine, config=GatewayConfig(batch_window_s=0.01, batch_max=64)
+        ) as srv:
+            queries = [
+                IMQuery(dataset="amazon", k=K_CHOICES[i % len(K_CHOICES)],
+                        theta_cap=THETA, seed=SEED, id=f"b{i}")
+                for i in range(32)
+            ]
+            with GatewayClient(srv.host, srv.port) as client:
+                t0 = time.perf_counter()
+                batched = client.execute(queries)
+                batched_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                for q in queries:
+                    assert client.query(q).ok
+                serial_s = time.perf_counter() - t0
+            batches = srv.stats.batches
+    assert all(r.ok for r in batched)
+    # 32 pipelined queries must not cost 32 separate engine batches.
+    assert batches < 2 * len(queries), batches
+    bench_record(
+        "gateway_coalescing",
+        queries=len(queries),
+        batched_s=batched_s,
+        serial_s=serial_s,
+        per_query_batched_ms=batched_s / len(queries) * 1e3,
+        per_query_serial_ms=serial_s / len(queries) * 1e3,
+        smoke=SMOKE,
+    )

@@ -14,6 +14,9 @@ Usage::
     repro datasets                  # replica inventory vs paper stats
     repro query amazon --k 10 --artifacts store/   # cached serving, one-shot
     repro serve --artifacts store/  # JSON-lines query loop on stdin/stdout
+    repro gateway serve --port 8471 --artifacts store/   # TCP gateway
+    repro gateway query amazon --k 10 --port 8471        # query it
+    repro gateway loadgen --mode open --rate 200         # offered-load drill
 
 (Equivalently: ``python -m repro ...``.)  ``--telemetry DIR`` / ``trace``
 enable the :mod:`repro.telemetry` session around the run and write the
@@ -271,6 +274,135 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--json", action="store_true",
         help="print the raw JSON response (query action)",
+    )
+
+    gw = sub.add_parser(
+        "gateway",
+        help="async TCP gateway: serve an engine over sockets, query one, "
+        "or generate load (docs/gateway.md)",
+    )
+    gw.add_argument(
+        "action", choices=("serve", "query", "loadgen"),
+        help="run the TCP server, send one query at it, or drive traffic",
+    )
+    gw.add_argument(
+        "dataset", nargs="?", default=None,
+        help="dataset name (required for query; loadgen default 'amazon')",
+    )
+    gw.add_argument("--host", default="127.0.0.1", help="bind/connect address")
+    gw.add_argument(
+        "--port", type=int, default=8471,
+        help="TCP port (serve: 0 picks an ephemeral port)",
+    )
+    gw.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist/reuse sketch artifacts under DIR (serve)",
+    )
+    gw.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="in-memory sketch cache budget (default 256 MiB)",
+    )
+    gw.add_argument(
+        "--default-theta", type=int, default=2000,
+        help="sketch size for queries without theta_cap",
+    )
+    gw.add_argument(
+        "--backend", default="serial", choices=("serial", "multiprocess"),
+        help="cold-sampling execution backend (serve)",
+    )
+    gw.add_argument(
+        "--num-workers", type=int, default=1,
+        help="sampling workers per cold pass",
+    )
+    gw.add_argument(
+        "--shards", type=int, default=0,
+        help="front a shard cluster with this many shards (0 = one engine)",
+    )
+    gw.add_argument(
+        "--replicas", type=int, default=1, help="replicas per shard"
+    )
+    gw.add_argument(
+        "--max-connections", type=int, default=64,
+        help="concurrent client connection cap",
+    )
+    gw.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="admission queue capacity; a full queue sheds new arrivals",
+    )
+    gw.add_argument(
+        "--queue-deadline", type=float, default=2.0, metavar="SECONDS",
+        help="max queue wait before a query is shed as stale",
+    )
+    gw.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch coalescing window",
+    )
+    gw.add_argument(
+        "--batch-max", type=int, default=64, help="max queries per batch"
+    )
+    gw.add_argument(
+        "--rate-limit", type=float, default=None, metavar="QPS",
+        help="per-client token-bucket rate limit (default: off)",
+    )
+    gw.add_argument(
+        "--rate-burst", type=float, default=10.0,
+        help="token-bucket burst size",
+    )
+    gw.add_argument(
+        "--max-line-bytes", type=int, default=None,
+        help="bound on one request line (default 1 MiB)",
+    )
+    gw.add_argument(
+        "--idle-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="close connections idle this long (0 disables)",
+    )
+    gw.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write DIR/metrics.json and DIR/trace.json at shutdown",
+    )
+    gw.add_argument("--model", default="IC", choices=("IC", "LT"))
+    gw.add_argument("--k", type=int, default=10)
+    gw.add_argument("--epsilon", type=float, default=0.5)
+    gw.add_argument("--seed", type=int, default=0)
+    gw.add_argument(
+        "--theta-cap", type=int, default=None,
+        help="sketch size in RRR sets (default: server's --default-theta)",
+    )
+    gw.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline; expiry yields a timeout response",
+    )
+    gw.add_argument(
+        "--retries", type=int, default=5,
+        help="client connect/overload retry attempts (query)",
+    )
+    gw.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON response (query action)",
+    )
+    gw.add_argument(
+        "--mode", default="closed", choices=("closed", "open"),
+        help="loadgen traffic shape (docs/gateway.md)",
+    )
+    gw.add_argument(
+        "--rate", type=float, default=50.0,
+        help="offered load in queries/s (open loop)",
+    )
+    gw.add_argument(
+        "--concurrency", type=int, default=4,
+        help="loadgen workers (closed) or connection pool size (open)",
+    )
+    gw.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="loadgen run length",
+    )
+    gw.add_argument(
+        "--requests", type=int, default=None,
+        help="stop loadgen after N requests instead of --duration",
+    )
+    gw.add_argument(
+        "--zipf", type=float, default=1.1,
+        help="zipf skew of the loadgen k mix",
     )
 
     update = sub.add_parser(
@@ -591,36 +723,68 @@ def _engine_config(args: argparse.Namespace, **overrides):
     return EngineConfig(**kwargs)
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.service import IMQuery, QueryEngine
+#: One-shot verbs map response status to exit code here; the codes line up
+#: with the repro.errors table ("overloaded" is a transient backend push-back,
+#: hence BackendError's 5).
+_STATUS_EXIT = {"ok": 0, "error": 2, "timeout": 3, "overloaded": 5}
 
-    query = IMQuery(
+
+def _wire_query(args: argparse.Namespace, **overrides):
+    """Build a one-shot :class:`IMQuery` via the canonical wire round-trip.
+
+    The query is encoded with the gateway client's helpers and re-parsed
+    with the protocol parser — the exact path a line takes over TCP — so
+    the CLI verbs cannot drift from the wire format (docs/gateway.md).
+    """
+    from repro.gateway.client import encode_queries
+    from repro.service import IMQuery, parse_request_line
+
+    fields = dict(
         dataset=args.dataset, model=args.model, k=args.k,
-        epsilon=args.epsilon, seed=args.seed, theta_cap=args.theta_cap,
-        deadline_s=args.deadline,
+        epsilon=args.epsilon, seed=args.seed,
+        theta_cap=getattr(args, "theta_cap", None),
+        deadline_s=getattr(args, "deadline", None),
     )
-    with QueryEngine(config=_engine_config(args)) as engine:
-        resp = engine.query(query)
-    if args.json:
+    fields.update(overrides)
+    [query] = parse_request_line(encode_queries([IMQuery(**fields)]))
+    return query
+
+
+def _emit_response(resp, *, as_json: bool, headline: str, source: str) -> int:
+    """Shared printing + exit-code mapping of the one-shot query verbs."""
+    code = _STATUS_EXIT.get(resp.status, 2)
+    if as_json:
         print(resp.to_json())
-        return 0 if resp.ok else (2 if resp.status == "error" else 3)
+        return code
     if not resp.ok:
         print(f"error: {resp.error}", file=sys.stderr)
-        return 2 if resp.status == "error" else 3
-    if resp.degraded:
-        source = "stale artifact (degraded)"
-    elif resp.cached:
-        source = "cache/artifact (warm)"
-    else:
-        source = "cold sampling"
+        return code
     print(
-        f"{args.dataset} [{args.model}] k={args.k}: "
-        f"spread estimate {resp.spread_estimate:.1f} "
+        f"{headline}: spread estimate {resp.spread_estimate:.1f} "
         f"({resp.coverage_fraction:.1%} of {resp.num_rrrsets} RRR sets), "
-        f"served from {source} in {resp.latency_s:.3f}s"
+        f"{source} in {resp.latency_s:.3f}s"
     )
     print("seeds:", " ".join(map(str, resp.seeds)))
-    return 0
+    return code
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service import QueryEngine
+
+    query = _wire_query(args)
+    with QueryEngine(config=_engine_config(args)) as engine:
+        resp = engine.query(query)
+    if resp.degraded:
+        source = "served from stale artifact (degraded)"
+    elif resp.cached:
+        source = "served from cache/artifact (warm)"
+    else:
+        source = "served from cold sampling"
+    return _emit_response(
+        resp, as_json=args.json,
+        headline=f"{args.dataset} [{args.model}] k={args.k}",
+        source=source,
+    )
 
 
 def _serve_loop(tel, shutdown, execute, control) -> int:
@@ -729,7 +893,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_shard(args: argparse.Namespace) -> int:
     from repro import telemetry
     from repro.errors import ParameterError
-    from repro.service import GracefulShutdown, IMQuery
+    from repro.service import GracefulShutdown
     from repro.shard import RouterConfig, ShardCluster, ShardPlan, SketchSpec
 
     plan = ShardPlan(
@@ -770,31 +934,26 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         elif args.action == "query":
             spec = make_spec()
             resp = cluster.query(
-                IMQuery(
-                    dataset=spec.dataset, model=spec.model, k=args.k,
+                _wire_query(
+                    args, dataset=spec.dataset, model=spec.model,
                     epsilon=spec.epsilon, seed=spec.seed,
                     theta_cap=spec.num_sets,
                 )
             )
-            if args.json:
-                print(resp.to_json())
-            elif not resp.ok:
-                print(f"error: {resp.error}", file=sys.stderr)
-            else:
-                source = (
-                    "degraded (shard down)" if resp.degraded
-                    else "warm" if resp.cached else "cold"
-                )
-                print(
+            source = (
+                "degraded (shard down)" if resp.degraded
+                else "warm" if resp.cached else "cold"
+            )
+            code = _emit_response(
+                resp, as_json=args.json,
+                headline=(
                     f"{spec.dataset} [{spec.model}] k={args.k} over "
-                    f"{plan.num_shards} shard(s): spread estimate "
-                    f"{resp.spread_estimate:.1f} "
-                    f"({resp.coverage_fraction:.1%} of {resp.num_rrrsets} "
-                    f"RRR sets), {source} in {resp.latency_s:.3f}s"
-                )
-                print("seeds:", " ".join(map(str, resp.seeds)))
-            if not resp.ok:
-                return 2 if resp.status == "error" else 3
+                    f"{plan.num_shards} shard(s)"
+                ),
+                source=source,
+            )
+            if code:
+                return code
             served = 1
         else:  # serve
             with GracefulShutdown() as shutdown:
@@ -865,6 +1024,176 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                 f"telemetry: {paths['metrics']} {paths['trace']}",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    if args.action == "serve":
+        return _gateway_serve(args)
+    if args.action == "query":
+        return _gateway_query(args)
+    return _gateway_loadgen(args)
+
+
+def _gateway_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from contextlib import ExitStack
+
+    from repro import telemetry
+    from repro.gateway import GatewayConfig, GatewayServer
+    from repro.service import GracefulShutdown, ShutdownRequested
+
+    gkwargs: dict = dict(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        idle_timeout_s=args.idle_timeout if args.idle_timeout > 0 else None,
+        queue_depth=args.queue_depth,
+        queue_deadline_s=args.queue_deadline,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
+        rate_limit_per_s=args.rate_limit,
+        rate_limit_burst=args.rate_burst,
+    )
+    if args.max_line_bytes is not None:
+        gkwargs["max_line_bytes"] = args.max_line_bytes
+    gconfig = GatewayConfig(**gkwargs)
+
+    with ExitStack() as stack:
+        tel = stack.enter_context(telemetry.session())
+        if args.shards > 0:
+            from repro.shard import RouterConfig, ShardCluster, ShardPlan
+
+            engine = stack.enter_context(
+                ShardCluster(
+                    ShardPlan(
+                        num_shards=args.shards, replication=args.replicas
+                    ),
+                    engine_config=_engine_config(
+                        args, default_theta=args.default_theta
+                    ),
+                    router_config=RouterConfig(
+                        default_theta=args.default_theta
+                    ),
+                )
+            )
+        else:
+            from repro.service import QueryEngine
+
+            engine = stack.enter_context(
+                QueryEngine(
+                    config=_engine_config(
+                        args,
+                        default_theta=args.default_theta,
+                        backend=args.backend,
+                        num_workers=args.num_workers,
+                    )
+                )
+            )
+        server = GatewayServer(engine, config=gconfig)
+        shutdown = stack.enter_context(GracefulShutdown())
+
+        def on_started(srv: GatewayServer) -> None:
+            print(
+                f"gateway listening on {srv.host}:{srv.port}",
+                file=sys.stderr, flush=True,
+            )
+
+        # Inside the guard a first SIGINT/SIGTERM only sets the drain flag,
+        # which the serve loop polls through should_stop; a repeated signal
+        # escalates to ShutdownRequested and unwinds asyncio.run itself.
+        with shutdown.guard():
+            try:
+                asyncio.run(
+                    server.serve(
+                        should_stop=lambda: shutdown.requested,
+                        on_started=on_started,
+                    )
+                )
+            except ShutdownRequested:
+                pass
+        if shutdown.requested:
+            print(
+                f"shutdown: signal {shutdown.signum} received, "
+                "connections drained",
+                file=sys.stderr,
+            )
+        summary = server.stats.to_dict()
+        print(
+            "gateway served {ok} ok / {shed} shed / {timeouts} timeout(s) "
+            "over {connections} connection(s)".format(**summary),
+            file=sys.stderr,
+        )
+        with shutdown.guard():
+            if args.telemetry is not None:
+                paths = telemetry.write_report(
+                    args.telemetry, tel,
+                    run={"command": "gateway serve", **summary},
+                )
+                print(
+                    f"telemetry: {paths['metrics']} {paths['trace']}",
+                    file=sys.stderr,
+                )
+    return 0
+
+
+def _gateway_query(args: argparse.Namespace) -> int:
+    from repro.errors import ParameterError
+    from repro.gateway import GatewayClient
+    from repro.resilience.retry import RetryPolicy
+
+    if args.dataset is None:
+        raise ParameterError("'repro gateway query' needs a dataset argument")
+    query = _wire_query(args)
+    retry = RetryPolicy(
+        max_attempts=max(1, args.retries), base_delay_s=0.2, max_delay_s=2.0
+    )
+    with GatewayClient(args.host, args.port, retry=retry) as client:
+        resp = client.query(query)
+    if resp.degraded:
+        source = "served from stale sketch (degraded)"
+    elif resp.cached:
+        source = "served warm"
+    else:
+        source = "served cold"
+    return _emit_response(
+        resp, as_json=args.json,
+        headline=(
+            f"{args.dataset} [{args.model}] k={args.k} "
+            f"via {args.host}:{args.port}"
+        ),
+        source=source,
+    )
+
+
+def _gateway_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.gateway import LoadGenConfig, run_loadgen
+
+    config = LoadGenConfig(
+        mode=args.mode,
+        duration_s=args.duration,
+        total_requests=args.requests,
+        rate_per_s=args.rate,
+        concurrency=args.concurrency,
+        dataset=args.dataset or "amazon",
+        model=args.model,
+        theta_cap=args.theta_cap if args.theta_cap is not None else 300,
+        epsilon=args.epsilon,
+        sketch_seed=args.seed,
+        deadline_s=args.deadline,
+        zipf_s=args.zipf,
+        seed=args.seed,
+    )
+    summary = run_loadgen(args.host, args.port, config)
+    print(json.dumps(summary, indent=2, default=float))
+    if summary["completed"] == 0:
+        print(
+            "error: no request completed (is the gateway up?)",
+            file=sys.stderr,
+        )
+        return 5
     return 0
 
 
@@ -1027,6 +1356,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": lambda: _cmd_query(args),
         "serve": lambda: _cmd_serve(args),
         "shard": lambda: _cmd_shard(args),
+        "gateway": lambda: _cmd_gateway(args),
         "update": lambda: _cmd_update(args),
     }
     cmd = dispatch.get(args.command)

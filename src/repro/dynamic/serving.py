@@ -21,7 +21,7 @@ for stale-artifact fallback) plus the ``dynamic.epoch_staleness`` gauge /
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro import telemetry
 from repro.errors import ParameterError, ReproError
@@ -216,28 +216,69 @@ class DynamicService:
         delta graph has committed epochs the sketch has not caught up with
         (a failed repair), the response is flagged ``degraded``.
         """
-        resp = self.engine.query(
-            IMQuery(
-                dataset=self.dataset,
-                model=self.model,
-                k=int(k),
-                epsilon=self.epsilon,
-                seed=self.seed,
-                theta_cap=self.num_sets,
-                deadline_s=deadline_s,
-                id=id,
+        return self.execute(
+            [IMQuery(dataset=self.dataset, k=int(k), deadline_s=deadline_s, id=id)]
+        )[0]
+
+    def execute(self, queries: Sequence[IMQuery]) -> list[IMResponse]:
+        """Serve a batch against the newest published epoch.
+
+        The same ``execute(queries) -> responses`` surface as
+        :class:`~repro.service.engine.QueryEngine` and
+        :class:`~repro.shard.cluster.ShardCluster`, so a
+        :class:`~repro.gateway.server.GatewayServer` can front a dynamic
+        service directly.  Queries are *pinned* to the service's sketch:
+        only ``k``, ``deadline_s``, and ``id`` are taken from the incoming
+        query — the dataset must match (an ``"error"`` response otherwise),
+        and model/epsilon/seed/theta follow the maintained sketch so every
+        answer reflects the published epoch.
+        """
+        responses: list[IMResponse | None] = [None] * len(queries)
+        pinned: list[tuple[int, IMQuery]] = []
+        for i, q in enumerate(queries):
+            if str(q.dataset).lower() != self.dataset.lower():
+                responses[i] = IMResponse(
+                    status="error",
+                    id=q.id,
+                    error=(
+                        f"ParameterError: this dynamic service serves "
+                        f"{self.dataset!r}, not {q.dataset!r}"
+                    ),
+                )
+                continue
+            pinned.append(
+                (
+                    i,
+                    IMQuery(
+                        dataset=self.dataset,
+                        model=self.model,
+                        k=q.k,
+                        epsilon=self.epsilon,
+                        seed=self.seed,
+                        theta_cap=self.num_sets,
+                        deadline_s=q.deadline_s,
+                        id=q.id,
+                    ),
+                )
             )
-        )
-        resp.epoch = self.served_epoch
-        stale = self.staleness()
-        tel = telemetry.get()
-        if tel.enabled:
-            tel.registry.gauge("dynamic.epoch_staleness").set(stale)
-        if stale > 0 and resp.ok:
-            resp.degraded = True
+        if pinned:
+            answers = self.engine.execute([q for _, q in pinned])
+            stale = self.staleness()
+            tel = telemetry.get()
             if tel.enabled:
-                tel.registry.counter("dynamic.stale_queries").inc()
-        return resp
+                tel.registry.gauge("dynamic.epoch_staleness").set(stale)
+            for (i, _), resp in zip(pinned, answers):
+                resp.epoch = self.served_epoch
+                if stale > 0 and resp.ok:
+                    resp.degraded = True
+                    if tel.enabled:
+                        tel.registry.counter("dynamic.stale_queries").inc()
+                responses[i] = resp
+        return [
+            r if r is not None
+            else IMResponse(status="error", error="internal: query dropped")
+            for r in responses
+        ]
 
     # ----------------------------------------------------------------- stats
     def stats_snapshot(self) -> dict[str, Any]:

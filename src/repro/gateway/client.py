@@ -1,0 +1,356 @@
+"""Gateway clients (sync + asyncio) and the wire-encoding helpers.
+
+This module is where request lines are *encoded* — :func:`encode_queries`
+and :func:`encode_control` are the only places in the package that turn
+queries and control operations into wire lines, and
+:func:`decode_response_line` is the only place that turns a wire line back
+into an :class:`~repro.service.protocol.IMResponse` (via
+``IMResponse.from_dict``) or a control payload.  The CLI one-shot verbs
+(``repro query``, ``repro shard query``) route through these helpers too,
+so the wire format has exactly one definition (docs/gateway.md).
+
+:class:`GatewayClient` is the blocking client: it reconnects through a
+:class:`~repro.resilience.retry.RetryPolicy` (connection errors are
+``OSError``\\ s, retryable by default) and, when ``honor_retry_after`` is
+on, treats a fully shed batch as retryable too — sleeping the server's
+``retry_after_s`` hint (capped) on top of the policy's own backoff before
+trying again.  When every attempt is shed, the last ``"overloaded"``
+responses are returned rather than raised, so callers always get one
+response per query.
+
+:class:`AsyncGatewayClient` is the thin asyncio twin the load generator
+drives: no retries, raw responses, one in-flight request line per
+connection (round-trips are serialised through a lock).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import socket
+import time
+from typing import Any, Sequence
+
+from repro.errors import BackendError, ParameterError, RetryExhaustedError
+from repro.resilience.retry import RetryPolicy
+from repro.service.protocol import IMQuery, IMResponse
+
+__all__ = [
+    "DEFAULT_PORT",
+    "AsyncGatewayClient",
+    "GatewayClient",
+    "GatewayOverloadedError",
+    "decode_response_line",
+    "encode_control",
+    "encode_queries",
+]
+
+#: Default gateway port (`repro gateway serve` binds here unless told not to).
+DEFAULT_PORT = 8471
+
+
+class GatewayOverloadedError(BackendError):
+    """Every query in a request line was shed (internal retry control flow).
+
+    Subclasses :class:`~repro.errors.BackendError` so the standard retry
+    classification treats shedding as transient; carries the largest
+    ``retry_after_s`` the server suggested.
+    """
+
+    def __init__(self, retry_after_s: float | None):
+        hint = f"retry in {retry_after_s:g}s" if retry_after_s else "retry later"
+        super().__init__(f"gateway shed the request ({hint})")
+        self.retry_after_s = retry_after_s
+
+
+# ------------------------------------------------------------------ encoding
+def encode_queries(queries: Sequence[IMQuery]) -> str:
+    """One wire line (no newline) for a batch of queries.
+
+    A single query encodes as a bare object, several as ``{"queries":
+    [...]}`` — exactly the forms
+    :func:`~repro.service.protocol.parse_request_line` accepts.
+    """
+    if not queries:
+        raise ParameterError("cannot encode an empty query batch")
+    docs = [q.to_dict() for q in queries]
+    if len(docs) == 1:
+        return json.dumps(docs[0], default=float)
+    return json.dumps({"queries": docs}, default=float)
+
+
+def encode_control(op: str, **fields: Any) -> str:
+    """One wire line (no newline) for a control operation."""
+    if not op or not isinstance(op, str):
+        raise ParameterError(f"op must be a non-empty string, got {op!r}")
+    return json.dumps({"op": op, **fields}, default=float)
+
+
+def decode_response_line(line: str | bytes) -> IMResponse | dict[str, Any]:
+    """Decode one server line: an :class:`IMResponse`, or a raw dict for
+    control payloads (anything carrying an ``"op"`` key)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"bad JSON response: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ParameterError(f"response must be a JSON object, got {doc!r}")
+    if "op" in doc:
+        return doc
+    return IMResponse.from_dict(doc)
+
+
+def _assign_ids(queries: Sequence[IMQuery]) -> list[IMQuery]:
+    """Give every query of a multi-query line a correlation id.
+
+    Shed responses are written at admission time, before served ones, so a
+    pipelined batch can come back out of submission order; ids let the
+    client restore it.  Single-query lines keep the user's id untouched.
+    """
+    if len(queries) <= 1:
+        return list(queries)
+    return [
+        q if q.id is not None else dataclasses.replace(q, id=f"_gw{i}")
+        for i, q in enumerate(queries)
+    ]
+
+
+def _order_responses(
+    queries: Sequence[IMQuery], responses: list[IMResponse]
+) -> list[IMResponse]:
+    """Match responses back to query order by id (fall back to arrival)."""
+    if len(queries) <= 1 or any(q.id is None for q in queries):
+        return responses
+    by_id = {r.id: r for r in responses if r.id is not None}
+    if len(by_id) != len(responses):
+        return responses
+    ordered = [by_id.get(q.id) for q in queries]
+    if any(r is None for r in ordered):
+        return responses
+    for q, r in zip(queries, ordered):
+        if q.id is not None and q.id.startswith("_gw"):
+            r.id = None  # strip the ids this client invented
+    return ordered
+
+
+# --------------------------------------------------------------- sync client
+class GatewayClient:
+    """Blocking JSON-lines client for one gateway endpoint.
+
+    Parameters
+    ----------
+    retry:
+        Reconnect/backoff policy (``None`` disables retrying entirely).
+        Connection failures (``OSError``) are retryable under the default
+        classification, so a client started before its server simply waits.
+    honor_retry_after:
+        Treat a fully shed request line as transient: sleep the server's
+        ``retry_after_s`` hint (capped at ``max_retry_after_s``) and let
+        the retry policy try again.  Exhausted retries *return* the last
+        overloaded responses instead of raising.
+    """
+
+    _DEFAULT_RETRY = RetryPolicy(
+        max_attempts=3, base_delay_s=0.05, max_delay_s=1.0
+    )
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout_s: float = 30.0,
+        retry: RetryPolicy | None = _DEFAULT_RETRY,
+        honor_retry_after: bool = True,
+        max_retry_after_s: float = 5.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.retry = retry
+        self.honor_retry_after = bool(honor_retry_after)
+        self.max_retry_after_s = float(max_retry_after_s)
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+
+    # ------------------------------------------------------------- lifecycle
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- I/O
+    def _roundtrip_once(self, line: str, expected: int) -> list[Any]:
+        """Send one line, read ``expected`` response lines (no retries)."""
+        self.connect()
+        try:
+            self._file.write((line + "\n").encode())
+            self._file.flush()
+            out = []
+            for _ in range(expected):
+                raw = self._file.readline()
+                if not raw:
+                    raise ConnectionError("gateway closed the connection")
+                out.append(decode_response_line(raw))
+            return out
+        except (ConnectionError, OSError):
+            # Drop the broken socket so the next attempt reconnects.
+            self.close()
+            raise
+
+    def _roundtrip(self, line: str, expected: int) -> list[Any]:
+        last_overloaded: list[list[IMResponse]] = []
+
+        def attempt() -> list[Any]:
+            out = self._roundtrip_once(line, expected)
+            if self.honor_retry_after:
+                responses = [r for r in out if isinstance(r, IMResponse)]
+                if responses and all(
+                    r.status == "overloaded" for r in responses
+                ):
+                    last_overloaded.append(responses)
+                    hints = [
+                        r.retry_after_s for r in responses
+                        if r.retry_after_s is not None
+                    ]
+                    raise GatewayOverloadedError(max(hints) if hints else None)
+            return out
+
+        def on_retry(attempt_no: int, exc: Exception) -> None:
+            if isinstance(exc, GatewayOverloadedError) and exc.retry_after_s:
+                time.sleep(min(exc.retry_after_s, self.max_retry_after_s))
+
+        if self.retry is None:
+            return self._roundtrip_once(line, expected)
+        try:
+            return self.retry.call(attempt, label="gateway request", on_retry=on_retry)
+        except RetryExhaustedError as exc:
+            if isinstance(exc.__cause__, GatewayOverloadedError) and last_overloaded:
+                return list(last_overloaded[-1])
+            raise
+
+    # ---------------------------------------------------------------- public
+    def execute(self, queries: Sequence[IMQuery]) -> list[IMResponse]:
+        """Serve a batch through the gateway; responses in query order."""
+        queries = _assign_ids(queries)
+        out = self._roundtrip(encode_queries(queries), expected=len(queries))
+        responses = [r for r in out if isinstance(r, IMResponse)]
+        if len(responses) != len(queries):
+            raise BackendError(
+                f"gateway returned {len(responses)} responses "
+                f"for {len(queries)} queries"
+            )
+        return _order_responses(queries, responses)
+
+    def query(self, query: IMQuery) -> IMResponse:
+        return self.execute([query])[0]
+
+    def control(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Run a control operation (``stats``, ``ping``, ``shutdown``)."""
+        out = self._roundtrip(encode_control(op, **fields), expected=1)[0]
+        if isinstance(out, IMResponse):  # an error response to a control op
+            return out.to_dict()
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        return self.control("stats")
+
+
+# -------------------------------------------------------------- async client
+class AsyncGatewayClient:
+    """Asyncio JSON-lines client: raw responses, no retries.
+
+    One request line is in flight per connection at a time (an internal
+    lock serialises round-trips); open several clients for concurrency —
+    that is exactly what the load generator does.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT):
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _roundtrip(self, line: str, expected: int) -> list[Any]:
+        async with self._lock:
+            await self.connect()
+            self._writer.write((line + "\n").encode())
+            await self._writer.drain()
+            out = []
+            for _ in range(expected):
+                raw = await self._reader.readline()
+                if not raw:
+                    raise ConnectionError("gateway closed the connection")
+                out.append(decode_response_line(raw))
+            return out
+
+    async def execute(self, queries: Sequence[IMQuery]) -> list[IMResponse]:
+        queries = _assign_ids(queries)
+        out = await self._roundtrip(encode_queries(queries), expected=len(queries))
+        responses = [r for r in out if isinstance(r, IMResponse)]
+        if len(responses) != len(queries):
+            raise BackendError(
+                f"gateway returned {len(responses)} responses "
+                f"for {len(queries)} queries"
+            )
+        return _order_responses(queries, responses)
+
+    async def query(self, query: IMQuery) -> IMResponse:
+        return (await self.execute([query]))[0]
+
+    async def control(self, op: str, **fields: Any) -> dict[str, Any]:
+        out = (await self._roundtrip(encode_control(op, **fields), expected=1))[0]
+        if isinstance(out, IMResponse):
+            return out.to_dict()
+        return out

@@ -1,0 +1,261 @@
+"""Load generation against a gateway: open/closed loops, zipf query mixes.
+
+Two canonical traffic shapes (the difference matters for overload
+studies):
+
+- **closed loop** — ``concurrency`` workers each hold one connection and
+  issue the next query the moment the previous answer lands.  Offered
+  load adapts to the server: a slow server is offered less.  This measures
+  *capacity* (max sustainable throughput).
+- **open loop** — arrivals fire on an exponential (Poisson) clock at
+  ``rate_per_s`` regardless of completions, the way a population of
+  independent users behaves.  Offered load does *not* back off, so
+  pushing ``rate_per_s`` past capacity is exactly how shedding and queue
+  deadlines are exercised (docs/gateway.md).
+
+The query mix is zipf-skewed: the ``k_choices`` ranks get probability
+``1/rank**zipf_s`` (normalised), so a few hot query classes dominate —
+which is what makes the gateway's micro-batch coalescing and the engine's
+fingerprint groups earn their keep.  Everything is driven by one seeded
+``numpy`` RNG, so a load run is reproducible end to end.
+
+Latency accounting is streaming: per-status counters plus one
+:class:`~repro.telemetry.metrics.Histogram` per outcome class, so
+p50/p95/p99 come out of geometric buckets without storing samples —
+the same machinery the server's own telemetry uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.service.protocol import IMQuery
+from repro.telemetry.metrics import Histogram
+
+from repro.gateway.client import DEFAULT_PORT, AsyncGatewayClient
+
+__all__ = ["LoadGenConfig", "LoadStats", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One load-generation run.
+
+    ``total_requests`` bounds the run by count; otherwise ``duration_s``
+    bounds it by wall clock.  ``rate_per_s`` only applies to the open
+    loop; ``concurrency`` is the worker count (closed loop) or the
+    connection-pool size (open loop).
+    """
+
+    mode: str = "closed"  # "closed" | "open"
+    duration_s: float = 5.0
+    total_requests: int | None = None
+    rate_per_s: float = 50.0
+    concurrency: int = 4
+    dataset: str = "amazon"
+    model: str = "IC"
+    k_choices: tuple[int, ...] = (5, 10, 20, 35, 50)
+    theta_cap: int | None = 300
+    epsilon: float = 0.5
+    sketch_seed: int = 0
+    deadline_s: float | None = None
+    zipf_s: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ParameterError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.duration_s <= 0:
+            raise ParameterError(f"duration_s must be positive, got {self.duration_s}")
+        if self.total_requests is not None and self.total_requests < 1:
+            raise ParameterError(
+                f"total_requests must be >= 1, got {self.total_requests}"
+            )
+        if self.rate_per_s <= 0:
+            raise ParameterError(f"rate_per_s must be positive, got {self.rate_per_s}")
+        if self.concurrency < 1:
+            raise ParameterError(f"concurrency must be >= 1, got {self.concurrency}")
+        if not self.k_choices:
+            raise ParameterError("k_choices must not be empty")
+        if self.zipf_s < 0:
+            raise ParameterError(f"zipf_s must be >= 0, got {self.zipf_s}")
+
+    def mix_probabilities(self) -> np.ndarray:
+        """Zipf popularity over ``k_choices`` ranks (rank 1 = first)."""
+        ranks = np.arange(1, len(self.k_choices) + 1, dtype=np.float64)
+        weights = ranks ** -float(self.zipf_s)
+        return weights / weights.sum()
+
+
+class LoadStats:
+    """Streaming accounting of one load run (no per-request storage)."""
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.ok = 0
+        self.shed = 0
+        self.timeout = 0
+        self.error = 0
+        self.transport_errors = 0
+        self.ok_latency = Histogram()
+        self.all_latency = Histogram()
+
+    def record(self, status: str, latency_s: float) -> None:
+        self.all_latency.observe(latency_s)
+        if status == "ok":
+            self.ok += 1
+            self.ok_latency.observe(latency_s)
+        elif status == "overloaded":
+            self.shed += 1
+        elif status == "timeout":
+            self.timeout += 1
+        else:
+            self.error += 1
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.shed + self.timeout + self.error
+
+    def summary(self, elapsed_s: float) -> dict[str, Any]:
+        done = self.completed
+        return {
+            "elapsed_s": float(elapsed_s),
+            "offered": self.offered,
+            "completed": done,
+            "ok": self.ok,
+            "shed": self.shed,
+            "timeout": self.timeout,
+            "error": self.error,
+            "transport_errors": self.transport_errors,
+            "throughput_qps": self.ok / elapsed_s if elapsed_s > 0 else 0.0,
+            "shed_rate": self.shed / done if done else 0.0,
+            "p50_ms": self.ok_latency.percentile(0.50) * 1e3,
+            "p95_ms": self.ok_latency.percentile(0.95) * 1e3,
+            "p99_ms": self.ok_latency.percentile(0.99) * 1e3,
+            "mean_ms": self.ok_latency.mean * 1e3,
+        }
+
+
+def _make_query(config: LoadGenConfig, rng: np.random.Generator, n: int) -> IMQuery:
+    k = int(rng.choice(config.k_choices, p=config.mix_probabilities()))
+    return IMQuery(
+        dataset=config.dataset,
+        model=config.model,
+        k=k,
+        epsilon=config.epsilon,
+        seed=config.sketch_seed,
+        theta_cap=config.theta_cap,
+        deadline_s=config.deadline_s,
+        id=f"lg{n}",
+    )
+
+
+async def _fire(
+    client: AsyncGatewayClient, query: IMQuery, stats: LoadStats
+) -> None:
+    t0 = time.monotonic()
+    try:
+        resp = await client.query(query)
+    except (ConnectionError, OSError):
+        stats.transport_errors += 1
+        return
+    stats.record(resp.status, time.monotonic() - t0)
+
+
+async def _closed_loop(
+    host: str, port: int, config: LoadGenConfig, stats: LoadStats
+) -> float:
+    deadline = time.monotonic() + config.duration_s
+    budget = config.total_requests
+    seq = 0
+    lock = asyncio.Lock()
+
+    async def worker(worker_id: int) -> None:
+        nonlocal seq
+        rng = np.random.default_rng(config.seed * 10_007 + worker_id)
+        client = AsyncGatewayClient(host, port)
+        try:
+            while True:
+                async with lock:
+                    if budget is not None and seq >= budget:
+                        return
+                    if budget is None and time.monotonic() >= deadline:
+                        return
+                    n = seq
+                    seq += 1
+                stats.offered += 1
+                await _fire(client, _make_query(config, rng, n), stats)
+        finally:
+            await client.close()
+
+    t0 = time.monotonic()
+    await asyncio.gather(*(worker(w) for w in range(config.concurrency)))
+    return time.monotonic() - t0
+
+
+async def _open_loop(
+    host: str, port: int, config: LoadGenConfig, stats: LoadStats
+) -> float:
+    rng = np.random.default_rng(config.seed)
+    pool = [AsyncGatewayClient(host, port) for _ in range(config.concurrency)]
+    tasks: list[asyncio.Task] = []
+    t0 = time.monotonic()
+    deadline = t0 + config.duration_s
+    next_at = t0
+    n = 0
+    try:
+        while True:
+            if config.total_requests is not None:
+                if n >= config.total_requests:
+                    break
+            elif time.monotonic() >= deadline:
+                break
+            delay = next_at - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            # Exponential interarrival: a Poisson arrival process whose
+            # clock never waits for completions (that is the point).
+            next_at += float(rng.exponential(1.0 / config.rate_per_s))
+            stats.offered += 1
+            client = pool[n % len(pool)]
+            tasks.append(
+                asyncio.ensure_future(
+                    _fire(client, _make_query(config, rng, n), stats)
+                )
+            )
+            n += 1
+        if tasks:
+            await asyncio.gather(*tasks)
+        return time.monotonic() - t0
+    finally:
+        for client in pool:
+            await client.close()
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    config: LoadGenConfig | None = None,
+) -> dict[str, Any]:
+    """Run one load-generation pass; returns the summary dict."""
+    config = config or LoadGenConfig()
+    stats = LoadStats()
+
+    async def _main() -> float:
+        if config.mode == "closed":
+            return await _closed_loop(host, port, config, stats)
+        return await _open_loop(host, port, config, stats)
+
+    elapsed = asyncio.run(_main())
+    summary = stats.summary(elapsed)
+    summary["mode"] = config.mode
+    if config.mode == "open":
+        summary["offered_rate_qps"] = config.rate_per_s
+    summary["concurrency"] = config.concurrency
+    return summary

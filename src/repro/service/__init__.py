@@ -47,12 +47,18 @@ from repro.service.artifacts import (
 from repro.service.cache import CacheEntry, CacheStats, SketchCache
 from repro.service.engine import EngineConfig, QueryEngine, ServiceStats
 from repro.service.lifecycle import GracefulShutdown, ShutdownRequested
-from repro.service.protocol import IMQuery, IMResponse, parse_request_line
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    IMQuery,
+    IMResponse,
+    parse_request_line,
+)
 
 __all__ = [
     "IMQuery",
     "IMResponse",
     "parse_request_line",
+    "MAX_LINE_BYTES",
     "ArtifactStore",
     "save_store",
     "load_store",

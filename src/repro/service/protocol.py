@@ -16,10 +16,17 @@ Wire format (one JSON document per line, both directions)::
 
 Responses mirror the query ``id`` (when given) and carry ``status`` of
 ``"ok"``, ``"timeout"`` (the per-query deadline expired — reported, never a
-hang), or ``"error"`` (typically a :class:`~repro.errors.ParameterError`).
-An ``"ok"`` response additionally carries ``degraded: true`` when the
-engine could not build the exact sketch the query asked for and served the
-freshest compatible stale artifact instead (docs/resilience.md).
+hang), ``"error"`` (typically a :class:`~repro.errors.ParameterError`), or
+``"overloaded"`` (the gateway shed the request under load; ``retry_after_s``
+suggests when to come back — docs/gateway.md).  An ``"ok"`` response
+additionally carries ``degraded: true`` when the engine could not build the
+exact sketch the query asked for and served the freshest compatible stale
+artifact instead (docs/resilience.md).
+
+Wire lines are bounded: :func:`parse_request_line` rejects lines longer
+than ``MAX_LINE_BYTES`` (1 MiB by default) with a structured
+:class:`~repro.errors.ParameterError` instead of attempting the decode, so
+both the stdin loops and the TCP gateway share one oversized-input path.
 """
 
 from __future__ import annotations
@@ -30,7 +37,12 @@ from typing import Any
 
 from repro.errors import ParameterError
 
-__all__ = ["IMQuery", "IMResponse", "parse_request_line"]
+__all__ = ["IMQuery", "IMResponse", "parse_request_line", "MAX_LINE_BYTES"]
+
+#: Default bound on one wire line (either direction).  Generous — a maximal
+#: batch of a few thousand queries fits — but small enough that a malicious
+#: or corrupted stream cannot balloon the parser.
+MAX_LINE_BYTES = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -74,19 +86,40 @@ class IMQuery:
         Mirrors :class:`~repro.core.params.IMMParams` validation so a bad
         query fails before any graph or sketch work happens.  ``k`` against
         the vertex count is checked later, once the graph is resolved.
+        Every out-of-domain *or* wrong-typed field (a JSON string where a
+        number belongs, say) raises :class:`ParameterError` — wire input
+        must never surface a bare ``TypeError``/``ValueError``.
         """
         if not self.dataset or not isinstance(self.dataset, str):
             raise ParameterError(f"dataset must be a non-empty string, got {self.dataset!r}")
         if str(self.model).upper() not in ("IC", "LT"):
             raise ParameterError(f"model must be 'IC' or 'LT', got {self.model!r}")
-        if not isinstance(self.k, int) or self.k < 1:
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
             raise ParameterError(f"k must be a positive integer, got {self.k!r}")
-        if not 0.0 < float(self.epsilon) < 1.0:
+        try:
+            eps = float(self.epsilon)
+        except (TypeError, ValueError):
+            raise ParameterError(f"epsilon must be a number, got {self.epsilon!r}") from None
+        if not 0.0 < eps < 1.0:
             raise ParameterError(f"epsilon must lie in (0, 1), got {self.epsilon!r}")
-        if self.theta_cap is not None and self.theta_cap < 1:
-            raise ParameterError(f"theta_cap must be >= 1, got {self.theta_cap}")
-        if self.deadline_s is not None and self.deadline_s < 0:
-            raise ParameterError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ParameterError(f"seed must be an integer, got {self.seed!r}")
+        if self.theta_cap is not None:
+            if not isinstance(self.theta_cap, int) or isinstance(self.theta_cap, bool):
+                raise ParameterError(f"theta_cap must be an integer, got {self.theta_cap!r}")
+            if self.theta_cap < 1:
+                raise ParameterError(f"theta_cap must be >= 1, got {self.theta_cap}")
+        if self.deadline_s is not None:
+            try:
+                deadline = float(self.deadline_s)
+            except (TypeError, ValueError):
+                raise ParameterError(
+                    f"deadline_s must be a number, got {self.deadline_s!r}"
+                ) from None
+            if deadline < 0:
+                raise ParameterError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if self.id is not None and not isinstance(self.id, str):
+            raise ParameterError(f"id must be a string, got {self.id!r}")
 
     def batch_key(self) -> tuple:
         """Queries with equal batch keys are served from one sketch —
@@ -132,7 +165,7 @@ class IMQuery:
 class IMResponse:
     """The answer (or failure report) to one :class:`IMQuery`."""
 
-    status: str  # "ok" | "timeout" | "error"
+    status: str  # "ok" | "timeout" | "error" | "overloaded"
     id: str | None = None
     seeds: list[int] = field(default_factory=list)
     spread_estimate: float = 0.0
@@ -145,6 +178,9 @@ class IMResponse:
     #: Graph epoch the answer was computed against (dynamic serving only;
     #: ``None`` for static datasets).  See docs/dynamic.md.
     epoch: int | None = None
+    #: Suggested client backoff on an ``"overloaded"`` response (gateway
+    #: load shedding; docs/gateway.md).  ``None`` on every other status.
+    retry_after_s: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -167,26 +203,60 @@ class IMResponse:
                 doc["epoch"] = self.epoch
         else:
             doc["error"] = self.error
+            if self.status == "overloaded" and self.retry_after_s is not None:
+                doc["retry_after_s"] = self.retry_after_s
         doc["latency_s"] = self.latency_s
         return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "IMResponse":
+        """Rebuild a response from its wire dict (the client-side decode).
+
+        Inverse of :meth:`to_dict`; unknown keys are ignored so older
+        clients keep working when the server grows new response fields.
+        """
+        if not isinstance(doc, dict) or "status" not in doc:
+            raise ParameterError(
+                f"response must be a JSON object with a 'status' field, got {doc!r}"
+            )
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in doc.items() if k in known})
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), default=float)
 
 
-def parse_request_line(line: str) -> list[IMQuery] | dict[str, Any]:
+def parse_request_line(
+    line: str | bytes, *, max_line_bytes: int = MAX_LINE_BYTES
+) -> list[IMQuery] | dict[str, Any]:
     """Decode one wire line into a query batch or a control operation.
 
     Returns a list of :class:`IMQuery` for query lines (a bare object, a
     JSON array, or ``{"queries": [...]}``), or the raw dict for control
     lines carrying an ``"op"`` key (e.g. ``{"op": "stats"}``).  Raises
-    :class:`ParameterError` on malformed input.
+    :class:`ParameterError` on malformed input — oversized lines (beyond
+    ``max_line_bytes``), undecodable bytes, non-object JSON scalars, and
+    wrong-typed query fields all come back as this one structured error,
+    never as an unhandled exception.  Both the stdin serving loops and the
+    TCP gateway go through this same path.
     """
+    if len(line) > max_line_bytes:
+        raise ParameterError(
+            f"request line of {len(line)} bytes exceeds the "
+            f"{max_line_bytes}-byte limit"
+        )
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ParameterError(f"request line is not valid UTF-8: {exc}") from exc
     try:
         doc = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ParameterError(f"bad JSON request: {exc}") from exc
     if isinstance(doc, dict) and "op" in doc:
+        if not isinstance(doc["op"], str):
+            raise ParameterError(f"op must be a string, got {doc['op']!r}")
         return doc
     if isinstance(doc, dict) and "queries" in doc:
         doc = doc["queries"]

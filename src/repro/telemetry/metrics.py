@@ -5,6 +5,14 @@ Design constraints (ISSUE 1 / docs/observability.md):
 - **Cheap enough for hot loops.** Instruments are plain Python objects with
   one-attribute updates; the disabled path is a single boolean check that
   callers hoist out of their loops (``tel = get(); if tel.enabled: ...``).
+- **Thread-safe.** The gateway (docs/gateway.md) records from concurrent
+  connection handlers and its engine executor thread, so every mutation —
+  ``inc``/``set``/``observe`` and the snapshot/merge paths — holds a
+  per-instrument :class:`threading.Lock`.  A read-modify-write like
+  ``value += amount`` is *not* atomic under the GIL (the interpreter can
+  switch threads between the read and the write), so unlocked concurrent
+  increments silently lose updates.  An uncontended lock costs ~100 ns,
+  invisible next to the work being measured.
 - **Mergeable across processes.** Every instrument serialises to a plain
   picklable dict (:meth:`MetricsRegistry.snapshot`); snapshots support
   element-wise :func:`merge_snapshots` (fan-in from workers) and
@@ -49,31 +57,36 @@ _HIST_MIN = 1e-9
 class Counter:
     """Monotonically increasing value (events, bytes, seconds-of-work)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """Last-written value (sizes, ratios, utilisation)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        v = float(value)
+        with self._lock:
+            self.value = v
 
 
 class Histogram:
     """Streaming geometric-bucket histogram with min/max/sum tracking."""
 
-    __slots__ = ("counts", "count", "sum", "min", "max")
+    __slots__ = ("counts", "count", "sum", "min", "max", "_lock")
 
     def __init__(self) -> None:
         self.counts: dict[int, int] = {}
@@ -81,17 +94,19 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         v = float(value)
         b = self._bucket(v)
-        self.counts[b] = self.counts.get(b, 0) + 1
-        self.count += 1
-        self.sum += v
-        if v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
+        with self._lock:
+            self.counts[b] = self.counts.get(b, 0) + 1
+            self.count += 1
+            self.sum += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
 
     @staticmethod
     def _bucket(v: float) -> int:
@@ -107,12 +122,17 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
         """Approximate q-quantile (``q`` in [0, 1]) from bucket boundaries."""
         if not (0.0 <= q <= 1.0):
             raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
         if self.count == 0:
             return 0.0
         rank = q * self.count
@@ -125,16 +145,17 @@ class Histogram:
         return self.max
 
     def to_dict(self) -> dict[str, Any]:
-        return {
-            "counts": {str(b): c for b, c in self.counts.items()},
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
+        with self._lock:
+            return {
+                "counts": {str(b): c for b, c in self.counts.items()},
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "Histogram":
@@ -220,12 +241,13 @@ class MetricsRegistry:
         for name, data in snap.get("histograms", {}).items():
             h = self.histogram(name)
             other = Histogram.from_dict(data)
-            for b, c in other.counts.items():
-                h.counts[b] = h.counts.get(b, 0) + c
-            h.count += other.count
-            h.sum += other.sum
-            h.min = min(h.min, other.min)
-            h.max = max(h.max, other.max)
+            with h._lock:
+                for b, c in other.counts.items():
+                    h.counts[b] = h.counts.get(b, 0) + c
+                h.count += other.count
+                h.sum += other.sum
+                h.min = min(h.min, other.min)
+                h.max = max(h.max, other.max)
 
     def clear(self) -> None:
         with self._lock:

@@ -33,7 +33,7 @@ class TestVerbSurface:
         assert {
             "list", "datasets", "experiment", "run", "trace", "sweep",
             "extract-results", "validate", "query", "serve", "update",
-            "shard",
+            "shard", "gateway",
         } <= verbs
 
     def test_list_output_names_every_verb(self, capsys):
@@ -55,6 +55,36 @@ class TestVerbSurface:
         )
         assert args.command == "update" and args.dataset == "amazon"
         assert args.repair == "resample" and args.resume
+
+    def test_gateway_parser_accepts_documented_flags(self):
+        args = cli.build_parser().parse_args(
+            [
+                "gateway", "serve", "--host", "0.0.0.0", "--port", "0",
+                "--shards", "2", "--replicas", "2", "--default-theta", "500",
+                "--max-connections", "8", "--queue-depth", "4",
+                "--queue-deadline", "0.5", "--batch-window", "0.01",
+                "--batch-max", "16", "--rate-limit", "20", "--rate-burst",
+                "5", "--max-line-bytes", "4096", "--idle-timeout", "60",
+                "--telemetry", "tel",
+            ]
+        )
+        assert args.command == "gateway" and args.action == "serve"
+        assert args.queue_depth == 4 and args.rate_limit == 20.0
+
+        args = cli.build_parser().parse_args(
+            [
+                "gateway", "loadgen", "--mode", "open", "--rate", "200",
+                "--concurrency", "8", "--duration", "2", "--requests", "50",
+                "--zipf", "1.5", "--deadline", "0.5",
+            ]
+        )
+        assert args.mode == "open" and args.requests == 50
+
+    def test_gateway_default_port_matches_client(self):
+        from repro.gateway.client import DEFAULT_PORT
+
+        args = cli.build_parser().parse_args(["gateway", "serve"])
+        assert args.port == DEFAULT_PORT
 
 
 def error_classes():

@@ -337,6 +337,68 @@ class TestProtocol:
         json.loads(err.to_json())  # serialisable
 
 
+class TestProtocolHardening:
+    """parse_request_line is the one untrusted-input door (stdin loops and
+    the TCP gateway both go through it) — every malformed shape must come
+    back as a structured ParameterError, never a bare exception."""
+
+    def test_oversized_line_rejected(self):
+        line = '{"dataset": "' + "x" * 300 + '"}'
+        with pytest.raises(ParameterError, match="byte limit"):
+            parse_request_line(line, max_line_bytes=256)
+        with pytest.raises(ParameterError, match="byte limit"):
+            parse_request_line(line.encode(), max_line_bytes=256)
+        # The default bound is the documented module constant.
+        from repro.service import MAX_LINE_BYTES
+
+        assert MAX_LINE_BYTES == 1 << 20
+
+    def test_bytes_lines_are_decoded(self):
+        [q] = parse_request_line(b'{"dataset": "amazon", "k": 2}')
+        assert q.dataset == "amazon" and q.k == 2
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(ParameterError, match="UTF-8"):
+            parse_request_line(b'{"dataset": "\xff\xfe"}')
+
+    def test_non_string_op_rejected(self):
+        with pytest.raises(ParameterError, match="op must be a string"):
+            parse_request_line('{"op": 42}')
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"k": True},           # bool is not an int on the wire
+            {"seed": 1.5},
+            {"seed": True},
+            {"epsilon": "half"},
+            {"theta_cap": True},
+            {"deadline_s": "soon"},
+            {"id": 7},
+            {"dataset": 3},
+        ],
+    )
+    def test_wrong_typed_fields_rejected(self, bad):
+        doc = {"dataset": "amazon", **bad}
+        with pytest.raises(ParameterError):
+            parse_request_line(json.dumps(doc))
+
+    def test_response_from_dict_roundtrip(self):
+        resp = IMResponse(
+            status="overloaded", id="q9", error="overloaded: queue full",
+            retry_after_s=0.5,
+        )
+        back = IMResponse.from_dict(json.loads(resp.to_json()))
+        assert back.status == "overloaded"
+        assert back.retry_after_s == 0.5 and back.id == "q9"
+
+    def test_response_from_dict_needs_status(self):
+        with pytest.raises(ParameterError):
+            IMResponse.from_dict({"seeds": [1]})
+        with pytest.raises(ParameterError):
+            IMResponse.from_dict(["ok"])
+
+
 # --------------------------------------------------------------------- engine
 @pytest.fixture(scope="module")
 def engine():

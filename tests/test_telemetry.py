@@ -65,6 +65,81 @@ class TestInstruments:
         assert h.counts == {0: 2}
 
 
+class TestThreadSafety:
+    """Instruments are mutated from gateway handler threads and the engine
+    executor concurrently; `+=` on a Python float is not atomic (it is a
+    read-modify-write across bytecodes), so these hammers would lose
+    updates without the per-instrument locks."""
+
+    def _hammer(self, fn, threads=8, iters=10_000):
+        import threading
+
+        barrier = threading.Barrier(threads)
+
+        def run():
+            barrier.wait()  # maximise interleaving
+            for _ in range(iters):
+                fn()
+
+        ts = [threading.Thread(target=run) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        return threads * iters
+
+    def test_counter_increments_are_exact(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hammered")
+        total = self._hammer(c.inc)
+        assert c.value == total
+
+    def test_histogram_observations_are_exact(self):
+        h = Histogram()
+        total = self._hammer(lambda: h.observe(0.01), threads=4, iters=5_000)
+        assert h.count == total
+        assert h.sum == pytest.approx(total * 0.01)
+
+    def test_snapshot_during_concurrent_observes(self):
+        import threading
+
+        h = Histogram()
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                h.observe(0.5)
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            for _ in range(200):
+                doc = h.to_dict()
+                # A snapshot must be internally consistent: the bucket
+                # counts always sum to the reported count.
+                assert sum(doc["counts"].values()) == doc["count"]
+                assert h.percentile(0.5) >= 0.0
+        finally:
+            stop.set()
+            writer.join()
+
+    def test_gauge_set_from_threads_is_one_written_value(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("level")
+        values = list(range(16))
+        self._hammer(lambda: g.set(values[0]), threads=2, iters=10)
+        import threading
+
+        ts = [
+            threading.Thread(target=lambda v=v: g.set(v)) for v in values
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert g.value in values
+
+
 # ----------------------------------------------------------- merge protocol
 class TestMergeProtocol:
     def test_merge_snapshots_adds(self):
