@@ -31,6 +31,7 @@ from repro.diffusion.base import get_model
 from repro.errors import ParameterError
 from repro.graph.csr import CSRGraph
 from repro.runtime.backends import ExecutionBackend, MultiprocessBackend, SerialBackend
+from repro.sketch.protocol import make_store
 from repro.sketch.store import FlatRRRStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,6 +49,21 @@ def _init_worker(graph: CSRGraph, model_name: str) -> None:
     _WORKER_MODEL = get_model(model_name, graph)
     # Materialise the transpose (and LT cumsums) once, pre-fork-warm.
     _WORKER_MODEL.reverse_graph  # noqa: B018 - intentional touch
+
+
+def _init_worker_shared(graph_handle, model_name: str) -> None:
+    """Spawn-mode initializer: attach the graph from its shm segment.
+
+    Module-level and picklable; what crosses the process boundary is the
+    :class:`~repro.shm.SegmentHandle` (a few hundred bytes), and the
+    attached :class:`~repro.shm.SharedCSRGraph` maps the host's single
+    copy of the adjacency arrays.  The view lives for the worker's
+    lifetime; the parent's :class:`~repro.shm.SegmentManager` owns the
+    segment and unlinks it after the pool is closed.
+    """
+    from repro import shm
+
+    _init_worker(shm.attach_graph(graph_handle), model_name)
 
 
 def worker_task(args: tuple[int, int]) -> tuple[bytes, np.ndarray]:
@@ -99,6 +115,7 @@ def parallel_generate(
     backend: ExecutionBackend | None = None,
     retry: "RetryPolicy | None" = None,
     faults: "FaultPlan | None" = None,
+    start_method: str = "fork",
 ) -> FlatRRRStore:
     """Generate ``count`` RRR sets across ``num_workers`` processes.
 
@@ -110,11 +127,22 @@ def parallel_generate(
     ``retry`` / ``faults`` attach resilience to the per-worker tasks
     (docs/resilience.md); they are installed on the backend this call owns,
     or onto a caller-supplied backend when given.
+
+    ``start_method="spawn"`` starts fresh-interpreter workers that attach
+    the graph from a :mod:`repro.shm` segment this call publishes (and
+    unlinks on exit), instead of inheriting it through fork — per-worker
+    handoff is a segment handle, not the adjacency arrays, and the drawn
+    sets are identical for a given ``(seed, num_workers)``.  Ignored when
+    a ``backend`` is supplied (its start method was fixed at construction).
     """
     if count < 0:
         raise ParameterError(f"count must be >= 0, got {count}")
     if num_workers <= 0:
         raise ParameterError(f"num_workers must be positive, got {num_workers}")
+    if start_method not in ("fork", "spawn"):
+        raise ParameterError(
+            f"unknown start_method {start_method!r}; expected 'fork' or 'spawn'"
+        )
 
     # Derive per-worker independent streams; split the count evenly.
     worker_seeds = [
@@ -127,10 +155,23 @@ def parallel_generate(
     ]
 
     owns_backend = backend is None
+    segment_manager = None
     if backend is None:
-        backend = MultiprocessBackend(
-            num_workers, initializer=_init_worker, initargs=(graph, model_name)
-        )
+        if start_method == "spawn":
+            from repro import shm
+
+            segment_manager = shm.SegmentManager()
+            handle = segment_manager.publish_graph(graph)
+            backend = MultiprocessBackend(
+                num_workers,
+                initializer=_init_worker_shared,
+                initargs=(handle, model_name),
+                start_method="spawn",
+            )
+        else:
+            backend = MultiprocessBackend(
+                num_workers, initializer=_init_worker, initargs=(graph, model_name)
+            )
     elif isinstance(backend, SerialBackend):
         _init_worker(graph, model_name)
     if retry is not None:
@@ -148,8 +189,10 @@ def parallel_generate(
         finally:
             if owns_backend:
                 backend.close()
+            if segment_manager is not None:
+                segment_manager.close()
 
-        store = FlatRRRStore(graph.num_vertices, sort_sets=True)
+        store = make_store("flat", num_vertices=graph.num_vertices, sort_sets=True)
         for blob, sizes in results:
             flat = np.frombuffer(blob, dtype=np.int32)
             offset = 0

@@ -33,7 +33,7 @@ from repro.core.params import KernelStats
 from repro.diffusion.base import DiffusionModel
 from repro.errors import OutOfMemoryModelError, ParameterError
 from repro.sketch.rrr import AdaptivePolicy
-from repro.sketch.store import FlatRRRStore
+from repro.sketch.protocol import make_store
 from repro.runtime.workqueue import simulate_schedule
 
 __all__ = ["RRRSampler", "modelled_store_bytes", "reverse_sample_with_cost"]
@@ -174,7 +174,7 @@ class RRRSampler:
         # The physical layout always keeps sets internally sorted so both
         # selection kernels can binary-search them; what differs between the
         # frameworks is the *charged* post-processing cost (below).
-        self.store = FlatRRRStore(n, sort_sets=True)
+        self.store = make_store("flat", num_vertices=n, sort_sets=True)
         self.counter = np.zeros(n, dtype=np.int64)  # fused global counter
         self.per_set_costs: list[float] = []
         self.per_set_edges: list[int] = []  # traversal work, charge-independent

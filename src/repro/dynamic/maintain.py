@@ -69,7 +69,7 @@ from repro.core.sampling import reverse_sample_with_cost
 from repro.core.selection import SelectionResult, efficient_select
 from repro.diffusion.base import get_model
 from repro.errors import ArtifactError, ParameterError
-from repro.sketch.store import FlatRRRStore
+from repro.sketch.protocol import make_store
 
 from repro.dynamic.delta import CommitInfo, DeltaGraph
 
@@ -150,7 +150,7 @@ class IncrementalMaintainer:
         self.full_resample_threshold = float(full_resample_threshold)
         self.repair = repair
         self.rng = as_rng(self.seed)
-        self.store = FlatRRRStore(delta.num_vertices, sort_sets=True)
+        self.store = make_store("flat", num_vertices=delta.num_vertices, sort_sets=True)
         self.roots = np.empty(self.num_sets, dtype=np.int64)
         self.counter = np.zeros(delta.num_vertices, dtype=np.int64)
         self.epoch = -1  # no sketch yet
@@ -167,7 +167,7 @@ class IncrementalMaintainer:
         drawing fresh roots from the maintainer's RNG stream."""
         model = get_model(self.model_name, self.delta.compact())
         n = self.delta.num_vertices
-        store = FlatRRRStore(n, sort_sets=True)
+        store = make_store("flat", num_vertices=n, sort_sets=True)
         for i in range(self.num_sets):
             root = int(self.rng.integers(0, n))
             self.roots[i] = root

@@ -17,6 +17,7 @@ class                  code  meaning
 ``DatasetError``       2     unknown dataset name (user input)
 ``ArtifactError``      4     persisted artifact missing/corrupt/mismatched
 ``BackendError``       5     parallel execution backend failed
+``ShmError``           5     shared-memory segment operation failed
 ``OutOfMemoryModel-``  6     modelled footprint exceeded the budget
 ``FaultInjectedError`` 7     an injected fault fired and was not recovered
 ``RetryExhaustedError``8     retries ran out without a successful attempt
@@ -65,6 +66,19 @@ class DatasetError(ReproError):
 
 class BackendError(ReproError):
     """A parallel execution backend failed or was misconfigured."""
+
+    exit_code = 5
+
+
+class ShmError(ReproError):
+    """A shared-memory segment operation failed (docs/memory.md).
+
+    Raised by :mod:`repro.shm` when a named segment cannot be created,
+    attached, or unlinked — e.g. attaching after the owner unlinked it, a
+    corrupt segment header, or a platform without POSIX shared memory.
+    Shares ``BackendError``'s exit code: to the CLI both mean "the parallel
+    execution substrate failed", and scripts branching on 5 keep working.
+    """
 
     exit_code = 5
 

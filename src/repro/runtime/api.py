@@ -63,6 +63,13 @@ class BackendConfig:
         Span/metric prefix for contexts built from this config.
     initializer / initargs:
         Per-process initializer for multiprocess backends.
+    start_method:
+        ``"fork"`` (default, copy-on-write sharing), or ``"spawn"`` —
+        fresh interpreters that inherit nothing, so large state must reach
+        workers explicitly; pair with :mod:`repro.shm` segment handles in
+        ``initargs`` to keep the handoff at handle size (the pattern
+        :func:`~repro.core.parallel_sampling.parallel_generate` uses).
+        ``None`` lets the backend default to fork.
     """
 
     backend: str = "serial"
@@ -73,11 +80,17 @@ class BackendConfig:
     telemetry_label: str = "runtime"
     initializer: Callable[..., None] | None = None
     initargs: tuple = ()
+    start_method: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
             raise BackendError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.start_method not in (None, "fork", "spawn"):
+            raise BackendError(
+                f"unknown start_method {self.start_method!r}; "
+                "expected 'fork' or 'spawn'"
             )
         if self.num_workers is not None and self.num_workers <= 0:
             raise BackendError(

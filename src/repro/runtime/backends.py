@@ -4,7 +4,9 @@ The CPython GIL forbids the shared-memory *thread* parallelism the paper's
 C++/OpenMP code uses, so real parallel execution here is process-based
 (DESIGN.md substitution table): workers are forked, the read-only graph
 arrays are shared copy-on-write, and per-worker results are reduced at a
-barrier.  That preserves the algorithms' partitioning and reduction
+barrier.  A spawn start method is also supported; spawned workers inherit
+nothing, so large state reaches them as :mod:`repro.shm` segment handles
+rather than through fork or pickling.  That preserves the algorithms' partitioning and reduction
 structure; the 1..128-thread *scaling* experiments instead run on the
 simulated machine (:mod:`repro.simmachine`), which is not limited by host
 core count.
@@ -203,7 +205,7 @@ class SerialBackend(ExecutionBackend):
 
 
 class MultiprocessBackend(ExecutionBackend):
-    """Fork-pool backend sharing read-only state copy-on-write.
+    """Process-pool backend; fork (copy-on-write) or spawn start method.
 
     Parameters
     ----------
@@ -218,6 +220,15 @@ class MultiprocessBackend(ExecutionBackend):
     init_timeout_s:
         How long to wait for every worker's initializer to finish before
         declaring the spin-up failed.
+    start_method:
+        ``"fork"`` (default): workers inherit the parent's memory
+        copy-on-write, so read-only state needs no explicit handoff.
+        ``"spawn"``: workers are fresh interpreters and ``initargs`` is
+        *pickled* to each one — keep it handle-sized and attach large
+        state through :mod:`repro.shm` segments
+        (:func:`~repro.core.parallel_sampling.parallel_generate` shows
+        the pattern).  Results are identical either way; spawn exists for
+        hosts/embeddings where fork is unsafe or unavailable.
     """
 
     backend_name = "multiprocess"
@@ -229,6 +240,7 @@ class MultiprocessBackend(ExecutionBackend):
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
         init_timeout_s: float = 120.0,
+        start_method: str = "fork",
     ):
         import multiprocessing as mp
 
@@ -236,10 +248,17 @@ class MultiprocessBackend(ExecutionBackend):
         if num_workers is not None and num_workers <= 0:
             raise BackendError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
+        if start_method not in ("fork", "spawn"):
+            raise BackendError(
+                f"unknown start_method {start_method!r}; expected 'fork' or 'spawn'"
+            )
+        self.start_method = start_method
         try:
-            ctx = mp.get_context("fork")
+            ctx = mp.get_context(start_method)
         except ValueError as exc:  # pragma: no cover - non-POSIX hosts
-            raise BackendError("fork start method unavailable on this host") from exc
+            raise BackendError(
+                f"{start_method} start method unavailable on this host"
+            ) from exc
         if initializer is None:
             self._pool = ctx.Pool(self.num_workers)
             return
@@ -442,6 +461,7 @@ def make_backend(
             config.num_workers,
             initializer=config.initializer,
             initargs=config.initargs,
+            start_method=config.start_method or "fork",
         )
     else:  # unreachable through BackendConfig validation, kept defensive
         raise BackendError(f"unknown backend {config.backend!r}")

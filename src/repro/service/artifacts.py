@@ -37,6 +37,7 @@ import numpy as np
 from repro.errors import ArtifactError
 from repro.graph.csr import CSRGraph
 from repro.graph.io import graph_fingerprint, load_npz, save_npz
+from repro.sketch.protocol import make_store
 from repro.sketch.rrr import AdaptivePolicy
 from repro.sketch.store import AdaptiveRRRStore, FlatRRRStore, PartitionedRRRStore
 
@@ -163,8 +164,12 @@ def _rebuild_flat(
         vertices = arrays[f"{prefix}vertices"]
     except KeyError as exc:
         raise ArtifactError(f"sketch artifact is missing array {exc}") from exc
-    return FlatRRRStore.from_arrays(
-        num_vertices, offsets, vertices, sort_sets=sort_sets
+    return make_store(
+        "flat",
+        num_vertices=num_vertices,
+        offsets=offsets,
+        vertices=vertices,
+        sort_sets=sort_sets,
     )
 
 
@@ -225,8 +230,11 @@ def load_store(
         store = _rebuild_flat(n, arrays, "", bool(store_meta.get("sort_sets")))
     elif kind == "partitioned":
         num_workers = int(store_meta["num_workers"])
-        store = PartitionedRRRStore(
-            n, num_workers, sort_sets=bool(store_meta.get("sort_sets"))
+        store = make_store(
+            "partitioned",
+            num_vertices=n,
+            num_workers=num_workers,
+            sort_sets=bool(store_meta.get("sort_sets")),
         )
         store.parts = [
             _rebuild_flat(n, arrays, f"part{w}_", bool(store_meta.get("sort_sets")))
@@ -235,7 +243,7 @@ def load_store(
     elif kind == "adaptive":
         frac = store_meta.get("policy_bitmap_fraction")
         policy = AdaptivePolicy(frac) if frac is not None else None
-        store = AdaptiveRRRStore(n, policy=policy, budget_bytes=None)
+        store = make_store("adaptive", num_vertices=n, policy=policy, budget_bytes=None)
         flat = _rebuild_flat(n, arrays, "", sort_sets=True)
         for s in flat:
             store.append(s)
@@ -367,3 +375,39 @@ class ArtifactStore:
         return load_store(
             self.sketch_path(fingerprint), expect_fingerprint=fingerprint
         )
+
+    def publish_sketch(self, fingerprint: str, manager):
+        """Load a sketch once and publish it into shared memory.
+
+        Returns ``(handle, counter, meta)`` where ``handle`` is the
+        :class:`~repro.shm.SegmentHandle` any process on the host can
+        attach (``make_store("shared", handle=...)``).  The segment is
+        keyed by the *sketch* fingerprint, so repeated publishes of the
+        same fingerprint through the same manager reuse the existing
+        segment — the disk load and the copy into shared memory happen at
+        most once; on the fast path (already published, and the artifact
+        carries no counter to re-read) the disk is not touched at all.
+        Non-flat stores are flattened in global order, which preserves the
+        selection answers and the content hash.
+        """
+        existing = manager.handle_for(fingerprint)
+        path = self.sketch_path(fingerprint)
+        if existing is not None:
+            meta = read_artifact_meta(path) or {}
+            meta.pop("_fingerprint", None)
+            # The counter is payload, not header; re-read just that array.
+            counter = None
+            try:
+                with np.load(path) as data:
+                    if "counter" in data.files:
+                        counter = data["counter"].astype(np.int64, copy=False)
+            except Exception:
+                counter = None
+            return existing, counter, meta
+        store, counter, meta = self.load_sketch(fingerprint)
+        if isinstance(store, PartitionedRRRStore):
+            store = store.merge()
+        elif not isinstance(store, FlatRRRStore):
+            store = store.to_flat(sort_sets=True)
+        handle = manager.publish_store(store.trim(), fingerprint=fingerprint)
+        return handle, counter, meta

@@ -57,8 +57,10 @@ class ShardCluster:
         router_config: RouterConfig | None = None,
         sampling_workers: int = 1,
         dataset_scale: float = 1.0,
+        segment_manager=None,
     ):
         self.plan = plan
+        self.segment_manager = segment_manager
         self.workers: list[ShardWorker] = [
             ShardWorker(
                 s,
@@ -67,6 +69,7 @@ class ShardCluster:
                 config=engine_config,
                 sampling_workers=sampling_workers,
                 dataset_scale=dataset_scale,
+                segment_manager=segment_manager,
             )
             for s in range(plan.num_shards)
             for r in range(plan.replication)
@@ -200,7 +203,15 @@ class ShardCluster:
         *,
         meta: dict | None = None,
     ) -> dict[str, Any]:
-        """Warm (and persist) each shard's partition into its replicas."""
+        """Warm (and persist) each shard's partition into its replicas.
+
+        With a :class:`~repro.shm.SegmentManager`, each shard's sub-sketch
+        is published to a shared-memory segment **once** and every replica
+        is warmed with its own zero-copy attached view — R replicas of a
+        shard share one copy of the bytes instead of referencing one
+        Python object (or, across processes, holding R copies).  The
+        views are tracked per worker and detached on worker close.
+        """
         summary = []
         for shard in range(self.plan.num_shards):
             sub = parts.parts[shard]
@@ -214,6 +225,11 @@ class ShardCluster:
                 "num_shards": self.plan.num_shards,
                 "strategy": self.plan.strategy,
             }
+            seg_handle = None
+            if self.segment_manager is not None:
+                seg_handle = self.segment_manager.publish_store(
+                    sub, fingerprint=sub_fp
+                )
             for w in self.replicas(shard):
                 arts = w.engine.artifacts
                 if (
@@ -225,13 +241,22 @@ class ShardCluster:
                         sub_fp, sub, counter=counter, meta=shard_meta
                     )
                     w.engine.stats.artifact_saves += 1
-                w.engine.warm(sub_fp, sub, counter=counter, meta=shard_meta)
+                if seg_handle is not None:
+                    view = self.segment_manager.attach_store(seg_handle)
+                    w._views.append(view)
+                    w.stats.shm_attaches += 1
+                    w.engine.warm(
+                        sub_fp, view, counter=counter.copy(), meta=shard_meta
+                    )
+                else:
+                    w.engine.warm(sub_fp, sub, counter=counter, meta=shard_meta)
             summary.append(
                 {
                     "shard": shard,
                     "shard_fingerprint": sub_fp,
                     "num_sets": len(sub),
                     "sketch_bytes": sub.nbytes(),
+                    "segment": seg_handle.name if seg_handle else None,
                     "replicas": [w.name for w in self.replicas(shard)],
                 }
             )

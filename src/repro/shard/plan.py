@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.runtime.partition import balanced_partition, block_partition
+from repro.sketch.protocol import make_store
 from repro.sketch.store import FlatRRRStore, PartitionedRRRStore
 
 __all__ = ["ShardPlan", "shard_fingerprint"]
@@ -190,8 +191,11 @@ class ShardPlan:
         owners = self.assign_sets(
             fingerprint, len(store), sizes=store.sizes()
         )
-        parts = PartitionedRRRStore(
-            store.num_vertices, self.num_shards, sort_sets=store.sort_sets
+        parts = make_store(
+            "partitioned",
+            num_vertices=store.num_vertices,
+            num_workers=self.num_shards,
+            sort_sets=store.sort_sets,
         )
         for i, s in enumerate(owners.tolist()):
             parts.append(s, store.get(i))

@@ -11,9 +11,13 @@ plans never collide.
 Acquisition order mirrors the engine (docs/serving.md):
 
 1. the worker engine's in-memory cache (warm);
-2. a ``sketch-<shard_fp>.npz`` artifact written by ``repro shard build``
+2. a shared-memory segment published under the shard fingerprint (when the
+   worker was given a :class:`~repro.shm.SegmentManager`) — attached as a
+   zero-copy read-only view, so replicas of the same shard share one copy
+   of the sub-sketch bytes (docs/memory.md);
+3. a ``sketch-<shard_fp>.npz`` artifact written by ``repro shard build``
    (or a previous cold pass) — integrity-checked, survives restarts;
-3. cold: the worker *streams* the deterministic sampling sequence of the
+4. cold: the worker *streams* the deterministic sampling sequence of the
    full sketch and keeps only the sets its shard owns, so its peak sketch
    memory stays ``O(owned sets)`` even while deriving them from the global
    sequence (the HBMax memory-per-worker discipline).  The sequence is
@@ -55,7 +59,7 @@ from repro.service.cache import CacheEntry
 from repro.service.engine import EngineConfig, QueryEngine
 from repro.service.protocol import IMQuery
 from repro.shard.plan import ShardPlan, shard_fingerprint
-from repro.sketch.store import FlatRRRStore
+from repro.sketch.protocol import make_store
 
 __all__ = ["SketchSpec", "OpenInfo", "CoverResult", "ShardWorker", "WorkerStats"]
 
@@ -115,6 +119,7 @@ class WorkerStats:
     replays: int = 0
     cold_builds: int = 0
     artifact_loads: int = 0
+    shm_attaches: int = 0
     warm_hits: int = 0
     faults: int = 0
 
@@ -123,6 +128,7 @@ class WorkerStats:
             "opens": self.opens, "covers": self.covers,
             "replays": self.replays, "cold_builds": self.cold_builds,
             "artifact_loads": self.artifact_loads,
+            "shm_attaches": self.shm_attaches,
             "warm_hits": self.warm_hits, "faults": self.faults,
         }
 
@@ -150,6 +156,7 @@ class ShardWorker:
         config: EngineConfig | None = None,
         sampling_workers: int = 1,
         dataset_scale: float = 1.0,
+        segment_manager=None,
     ):
         if not (0 <= shard_id < plan.num_shards):
             raise ParameterError(
@@ -166,16 +173,21 @@ class ShardWorker:
         self.engine = QueryEngine(config=config or EngineConfig())
         self.sampling_workers = int(sampling_workers)
         self.dataset_scale = float(dataset_scale)
+        self.segment_manager = segment_manager
         self.stats = WorkerStats()
         self._sessions: dict[str, _Session] = {}
         self._graphs: dict[tuple, tuple[Any, str]] = {}
         self._installed: dict[str, tuple[Any, str]] = {}
+        self._views: list[Any] = []  # attached shm views, detached on close
         self._dead = False
         self._fail_after: int | None = None
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
         self._sessions.clear()
+        views, self._views = self._views, []
+        for view in views:
+            view.detach()
         self.engine.close()
 
     def __enter__(self) -> "ShardWorker":
@@ -262,7 +274,7 @@ class ShardWorker:
         return fp, shard_fingerprint(fp, self.shard_id, self.plan)
 
     def _acquire(self, spec: SketchSpec) -> tuple[CacheEntry, bool, str, str]:
-        """(entry, warm, fp, shard_fp): cache → artifact → cold stream."""
+        """(entry, warm, fp, shard_fp): cache → shm → artifact → cold stream."""
         graph, gfp = self._resolve_graph(spec)
         fp = sketch_fingerprint(
             gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
@@ -280,6 +292,18 @@ class ShardWorker:
             "num_shards": self.plan.num_shards,
             "strategy": self.plan.strategy,
         }
+        if self.segment_manager is not None:
+            handle = self.segment_manager.handle_for(sub_fp)
+            if handle is not None:
+                store = self.segment_manager.attach_store(handle)
+                self._views.append(store)
+                counter = store.vertex_counts()
+                self.stats.shm_attaches += 1
+                self.engine.warm(sub_fp, store, counter=counter, meta=meta)
+                entry = self.engine.cache.get(sub_fp) or CacheEntry(
+                    store=store, counter=counter, meta=meta
+                )
+                return entry, True, fp, sub_fp
         arts = self.engine.artifacts
         if arts is not None and arts.has_sketch(sub_fp):
             try:
@@ -341,7 +365,7 @@ class ShardWorker:
             mask = self.plan.owned_mask(
                 fingerprint, len(full), self.shard_id, sizes=full.sizes()
             )
-            store = FlatRRRStore(graph.num_vertices, sort_sets=True)
+            store = make_store("flat", num_vertices=graph.num_vertices, sort_sets=True)
             for i in np.flatnonzero(mask).tolist():
                 store.append(full.get(i))
             return store.trim()
@@ -354,7 +378,7 @@ class ShardWorker:
             for r in spawn_rngs(spec.seed, self.sampling_workers)
         ]
         base, extra = divmod(spec.num_sets, self.sampling_workers)
-        store = FlatRRRStore(n, sort_sets=True)
+        store = make_store("flat", num_vertices=n, sort_sets=True)
         g_index = 0
         for w, wseed in enumerate(worker_seeds):
             count = base + (1 if w < extra else 0)

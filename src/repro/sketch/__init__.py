@@ -14,9 +14,22 @@ Representation") and the axis of the HBMax comparison in related work.
 - :mod:`repro.sketch.stats` — coverage statistics (Table I's columns).
 """
 
+from repro.sketch.compressed_store import CompressedRRRStore
+from repro.sketch.protocol import (
+    PROTOCOL_METHODS,
+    STORE_EXTRAS,
+    STORE_KINDS,
+    RRRStore,
+    make_store,
+)
 from repro.sketch.rrr import AdaptivePolicy, BitmapRRR, ListRRR, RRRSet, make_rrr
 from repro.sketch.stats import CoverageStats, coverage_stats
-from repro.sketch.store import AdaptiveRRRStore, FlatRRRStore, PartitionedRRRStore
+from repro.sketch.store import (
+    AdaptiveRRRStore,
+    FlatRRRStore,
+    PartitionedRRRStore,
+    content_fingerprint,
+)
 
 __all__ = [
     "RRRSet",
@@ -24,9 +37,16 @@ __all__ = [
     "BitmapRRR",
     "AdaptivePolicy",
     "make_rrr",
+    "RRRStore",
+    "make_store",
+    "STORE_KINDS",
+    "PROTOCOL_METHODS",
+    "STORE_EXTRAS",
     "FlatRRRStore",
     "AdaptiveRRRStore",
     "PartitionedRRRStore",
+    "CompressedRRRStore",
+    "content_fingerprint",
     "CoverageStats",
     "coverage_stats",
 ]

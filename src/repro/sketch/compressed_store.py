@@ -17,13 +17,15 @@ store makes both sides of the trade-off measurable:
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro import telemetry
 from repro.errors import OutOfMemoryModelError, ParameterError
 from repro.sketch.compress import DeltaVarintCodec, HuffmanCodec
-from repro.sketch.store import FlatRRRStore
+from repro.sketch.store import FlatRRRStore, content_fingerprint
+from repro.telemetry.bridge import record_codec_stats
 
 __all__ = ["CompressedRRRStore"]
 
@@ -78,6 +80,10 @@ class CompressedRRRStore:
         self._encode_one(arr)
         return len(self._sizes) - 1
 
+    def extend(self, sets: Sequence[np.ndarray]) -> None:
+        for s in sets:
+            self.append(s)
+
     def _train_and_flush(self) -> None:
         counts = np.zeros(self.num_vertices, dtype=np.int64)
         for s in self._pending:
@@ -100,11 +106,10 @@ class CompressedRRRStore:
         self._bytes = new_total
         tel = telemetry.get()
         if tel.enabled:
-            reg = tel.registry
-            reg.counter("sketch.compressed.sets").inc()
-            reg.gauge("sketch.compressed.bytes").set(self.nbytes())
-            reg.gauge("sketch.compressed.ratio").set(self.compression_ratio)
-            reg.gauge("sketch.compressed.encode_s").set(self.encode_seconds)
+            # Event counter stays here; the cumulative codec gauges go
+            # through the shared bridge like the other stores' stats.
+            tel.registry.counter("sketch.compressed.sets").inc()
+            record_codec_stats(tel.registry, self)
 
     def finalize(self) -> None:
         """Force codebook training and flush any buffered sets."""
@@ -129,11 +134,71 @@ class CompressedRRRStore:
         self.decode_seconds += time.perf_counter() - t0
         tel = telemetry.get()
         if tel.enabled:
-            tel.registry.gauge("sketch.compressed.decode_s").set(self.decode_seconds)
+            record_codec_stats(tel.registry, self)
         return np.sort(out)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(len(self)):
+            yield self.get(i)
 
     def sizes(self) -> np.ndarray:
         return np.asarray(self._sizes, dtype=np.int64)
+
+    def vertex_counts(self) -> np.ndarray:
+        """Occurrences of each vertex across all sets (pays full decode)."""
+        total = np.zeros(self.num_vertices, dtype=np.int64)
+        for s in self:
+            total += np.bincount(s, minlength=self.num_vertices)
+        return total
+
+    def sets_containing(self, v: int) -> np.ndarray:
+        """Indices of sets containing ``v`` — a decode scan; this is
+        exactly the per-access codec tax the §VI comparison charges."""
+        v = np.int32(v)
+        return np.asarray(
+            [i for i in range(len(self)) if np.any(self.get(i) == v)],
+            dtype=np.int64,
+        )
+
+    def replace_sets(
+        self, indices: np.ndarray, new_sets: Sequence[np.ndarray]
+    ) -> "CompressedRRRStore":
+        """Decode everything, splice the replacements, re-encode through the
+        normal append path (retraining the Huffman codebook on the new
+        contents); returns ``self``.  O(total entries) in codec time — the
+        compressed layout has no cheap in-place splice.
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return self
+        if np.any(np.diff(idx) <= 0):
+            raise ParameterError("replace_sets indices must be strictly increasing")
+        if idx[0] < 0 or idx[-1] >= len(self):
+            raise ParameterError(
+                f"replace_sets index out of range [0, {len(self)})"
+            )
+        if len(new_sets) != idx.size:
+            raise ParameterError(
+                f"got {idx.size} indices but {len(new_sets)} replacement sets"
+            )
+        sets = [self.get(i) for i in range(len(self))]
+        for j, i in enumerate(idx.tolist()):
+            sets[i] = np.asarray(new_sets[j], dtype=np.int32).ravel()
+        self._codec = (
+            DeltaVarintCodec() if self.codec_name == "delta-varint" else None
+        )
+        self._pending = []
+        self._blobs = []
+        self._sizes = []
+        self._bytes = 0
+        for s in sets:
+            self.append(s)
+        return self
+
+    def trim(self) -> "CompressedRRRStore":
+        """No-op (blobs carry no growth slack); returns ``self`` so protocol
+        callers can chain it like the flat store's."""
+        return self
 
     def nbytes(self) -> int:
         """Compressed footprint (buffered training sets counted raw)."""
@@ -144,6 +209,16 @@ class CompressedRRRStore:
         """Raw-int32 bytes / compressed bytes (>1 means space saved)."""
         raw = 4 * int(self.sizes().sum())
         return raw / max(self.nbytes(), 1)
+
+    def fingerprint(self) -> str:
+        """Layout-independent content hash over the *decoded* sets (equal to
+        the fingerprint of :meth:`to_flat`'s result)."""
+        sets = [self.get(i) for i in range(len(self))]
+        return content_fingerprint(
+            self.num_vertices,
+            self.sizes(),
+            np.concatenate(sets) if sets else np.empty(0, dtype=np.int32),
+        )
 
     def to_flat(self, *, sort_sets: bool = True) -> FlatRRRStore:
         """Decode everything into a flat store (pays full decode cost)."""

@@ -19,6 +19,7 @@ Three stores cover the designs the paper contrasts:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator, Sequence
 
 import numpy as np
@@ -30,6 +31,27 @@ from repro.sketch.rrr import AdaptivePolicy, RRRSet, make_rrr
 __all__ = ["FlatRRRStore", "AdaptiveRRRStore", "PartitionedRRRStore"]
 
 _GROW = 1.5  # amortised growth factor for the flat arrays
+
+
+def content_fingerprint(
+    num_vertices: int, sizes: np.ndarray, vertices: np.ndarray
+) -> str:
+    """Content hash of a store: vertex space + per-set sizes + flat entries.
+
+    Every :class:`~repro.sketch.protocol.RRRStore` implementation computes
+    its ``fingerprint()`` through this one function over its *logical*
+    content (global set order, concatenated vertices), so two stores holding
+    the same sets in the same order fingerprint identically regardless of
+    layout — flat, partitioned, compressed, or a shared-memory view.  The
+    hex16 output matches the artifact/sketch fingerprint width and keys
+    :mod:`repro.shm` segment names.
+    """
+    h = hashlib.sha256()
+    h.update(b"rrr-store/1:")
+    h.update(int(num_vertices).to_bytes(8, "little"))
+    h.update(np.ascontiguousarray(sizes, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(vertices, dtype=np.int32).tobytes())
+    return h.hexdigest()[:16]
 
 
 class FlatRRRStore:
@@ -271,6 +293,10 @@ class FlatRRRStore:
         """Average modelled bytes per stored vertex (for OOM projection)."""
         return self.nbytes() / max(self._num_entries, 1)
 
+    def fingerprint(self) -> str:
+        """Layout-independent content hash (see :func:`content_fingerprint`)."""
+        return content_fingerprint(self.num_vertices, self.sizes(), self.vertices)
+
 
 class AdaptiveRRRStore:
     """Per-set representations with budget-checked memory accounting.
@@ -294,7 +320,8 @@ class AdaptiveRRRStore:
         self._sets: list[RRRSet] = []
         self._bytes = 0
 
-    def append(self, vertices: np.ndarray) -> RRRSet:
+    def append(self, vertices: np.ndarray) -> int:
+        """Add one set; returns its index (the RRRStore protocol contract)."""
         kind = "list" if self.policy is None else None
         rrr = make_rrr(vertices, self.num_vertices, policy=self.policy, kind=kind)
         new_total = self._bytes + rrr.nbytes()
@@ -308,10 +335,20 @@ class AdaptiveRRRStore:
             # decision stream (docs/observability.md, `sketch.adaptive.*`).
             tel.registry.counter(f"sketch.adaptive.{rrr.kind}_sets").inc()
             tel.registry.gauge("sketch.adaptive.bytes").set(new_total)
-        return rrr
+        return len(self._sets) - 1
+
+    def extend(self, sets: Sequence[np.ndarray]) -> None:
+        for s in sets:
+            self.append(s)
 
     def __len__(self) -> int:
         return len(self._sets)
+
+    def get(self, i: int) -> np.ndarray:
+        """Set ``i``'s vertices as a sorted ``int32`` array."""
+        if not (0 <= i < len(self._sets)):
+            raise IndexError(f"set index {i} out of range [0, {len(self._sets)})")
+        return np.asarray(self._sets[i].vertices(), dtype=np.int32)
 
     def __getitem__(self, i: int) -> RRRSet:
         return self._sets[i]
@@ -319,8 +356,71 @@ class AdaptiveRRRStore:
     def __iter__(self) -> Iterator[RRRSet]:
         return iter(self._sets)
 
+    def sizes(self) -> np.ndarray:
+        """Per-set sizes, in append order."""
+        return np.asarray([s.size for s in self._sets], dtype=np.int64)
+
+    def vertex_counts(self) -> np.ndarray:
+        """Occurrences of each vertex across all sets."""
+        total = np.zeros(self.num_vertices, dtype=np.int64)
+        for s in self._sets:
+            total += np.bincount(s.vertices(), minlength=self.num_vertices)
+        return total
+
+    def sets_containing(self, v: int) -> np.ndarray:
+        """Indices of sets containing ``v`` — each representation answers
+        with its own membership primitive (binary search / bit probe)."""
+        return np.asarray(
+            [i for i, s in enumerate(self._sets) if s.contains(int(v))],
+            dtype=np.int64,
+        )
+
+    def replace_sets(
+        self, indices: np.ndarray, new_sets: Sequence[np.ndarray]
+    ) -> "AdaptiveRRRStore":
+        """Rebuild the given set slots (re-running the adaptive policy and
+        the budget accounting for each replacement); returns ``self``."""
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return self
+        if np.any(np.diff(idx) <= 0):
+            raise ParameterError("replace_sets indices must be strictly increasing")
+        if idx[0] < 0 or idx[-1] >= len(self._sets):
+            raise ParameterError(
+                f"replace_sets index out of range [0, {len(self._sets)})"
+            )
+        if len(new_sets) != idx.size:
+            raise ParameterError(
+                f"got {idx.size} indices but {len(new_sets)} replacement sets"
+            )
+        kind = "list" if self.policy is None else None
+        for j, i in enumerate(idx.tolist()):
+            rrr = make_rrr(
+                new_sets[j], self.num_vertices, policy=self.policy, kind=kind
+            )
+            new_total = self._bytes - self._sets[i].nbytes() + rrr.nbytes()
+            if self.budget_bytes is not None and new_total > self.budget_bytes:
+                raise OutOfMemoryModelError(new_total, self.budget_bytes)
+            self._sets[i] = rrr
+            self._bytes = new_total
+        return self
+
+    def trim(self) -> "AdaptiveRRRStore":
+        """No-op (per-set representations carry no growth slack); returns
+        ``self`` so protocol callers can chain it like the flat store's."""
+        return self
+
     def nbytes(self) -> int:
         return self._bytes
+
+    def fingerprint(self) -> str:
+        """Layout-independent content hash (see :func:`content_fingerprint`)."""
+        verts = (
+            np.concatenate([self.get(i) for i in range(len(self._sets))])
+            if self._sets
+            else np.empty(0, dtype=np.int32)
+        )
+        return content_fingerprint(self.num_vertices, self.sizes(), verts)
 
     def representation_histogram(self) -> dict[str, int]:
         """Count of sets per representation kind ("list"/"bitmap")."""
@@ -357,7 +457,18 @@ class PartitionedRRRStore:
             for _ in range(num_workers)
         ]
 
-    def append(self, worker: int, vertices: np.ndarray) -> int:
+    def append(self, worker, vertices: np.ndarray | None = None) -> int:
+        """Add one set.
+
+        Two forms: ``append(worker, vertices)`` files the set under a
+        specific partition and returns its *partition-local* index (the
+        NUMA-placement path); the protocol form ``append(vertices)`` files
+        it under the last partition — preserving the global
+        worker-concatenated order — and returns its *global* index.
+        """
+        if vertices is None:
+            self.parts[-1].append(worker)
+            return len(self) - 1
         # Explicit range check: Python's negative-index wraparound would
         # otherwise silently file the set under the *last* partition.
         if not (0 <= worker < self.num_workers):
@@ -365,6 +476,11 @@ class PartitionedRRRStore:
                 f"worker {worker} out of range [0, {self.num_workers})"
             )
         return self.parts[worker].append(vertices)
+
+    def extend(self, sets: Sequence[np.ndarray]) -> None:
+        """Protocol-form bulk append (all sets go to the last partition)."""
+        for s in sets:
+            self.append(s)
 
     def __len__(self) -> int:
         return sum(len(p) for p in self.parts)
@@ -416,6 +532,62 @@ class PartitionedRRRStore:
         for part in self.parts:
             total += part.vertex_counts()
         return total
+
+    def sets_containing(self, v: int) -> np.ndarray:
+        """Global indices (worker-concatenated order) of sets containing
+        ``v`` — each partition's hits shifted by the partitions before it."""
+        out: list[np.ndarray] = []
+        base = 0
+        for part in self.parts:
+            out.append(part.sets_containing(v) + base)
+            base += len(part)
+        return (
+            np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+        )
+
+    def replace_sets(
+        self, indices: np.ndarray, new_sets: Sequence[np.ndarray]
+    ) -> "PartitionedRRRStore":
+        """Splice replacements by *global* index, routed to the owning
+        partitions (same contract as :meth:`FlatRRRStore.replace_sets`);
+        returns ``self``."""
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return self
+        if np.any(np.diff(idx) <= 0):
+            raise ParameterError("replace_sets indices must be strictly increasing")
+        if idx[0] < 0 or idx[-1] >= len(self):
+            raise ParameterError(
+                f"replace_sets index out of range [0, {len(self)})"
+            )
+        if len(new_sets) != idx.size:
+            raise ParameterError(
+                f"got {idx.size} indices but {len(new_sets)} replacement sets"
+            )
+        base = 0
+        cursor = 0
+        for part in self.parts:
+            hi = base + len(part)
+            lo_cursor = cursor
+            while cursor < idx.size and idx[cursor] < hi:
+                cursor += 1
+            if cursor > lo_cursor:
+                part.replace_sets(
+                    idx[lo_cursor:cursor] - base,
+                    [new_sets[j] for j in range(lo_cursor, cursor)],
+                )
+            base = hi
+        return self
+
+    def fingerprint(self) -> str:
+        """Layout-independent content hash over the *global* order (equal to
+        the fingerprint of :meth:`merge`'s flat result)."""
+        verts = [p.vertices for p in self.parts]
+        return content_fingerprint(
+            self.num_vertices,
+            self.sizes(),
+            np.concatenate(verts) if verts else np.empty(0, dtype=np.int32),
+        )
 
     def nbytes(self) -> int:
         return sum(p.nbytes() for p in self.parts)

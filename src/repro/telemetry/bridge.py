@@ -25,6 +25,7 @@ __all__ = [
     "record_stage_times",
     "record_service_stats",
     "record_shard_stats",
+    "record_codec_stats",
 ]
 
 
@@ -93,6 +94,22 @@ def record_shard_stats(registry, stats: Any, health: Any = None) -> None:
             if state.get("healthy")
         )
         registry.gauge("shard.stats.healthy_replicas").set(healthy)
+
+
+def record_codec_stats(registry, store: Any) -> None:
+    """Project a compressed store's codec accounting onto ``sketch.compressed.*``.
+
+    Duck-typed on :class:`~repro.sketch.compressed_store.CompressedRRRStore`'s
+    public surface (``nbytes()``, ``compression_ratio``, ``encode_seconds``,
+    ``decode_seconds``).  The store calls this after every encode/decode —
+    gauges are idempotent, so the snapshot always carries the current
+    footprint, ratio, and cumulative codec time (``perf_counter``-based)
+    alongside the event-stream ``sketch.compressed.sets`` counter.
+    """
+    registry.gauge("sketch.compressed.bytes").set(float(store.nbytes()))
+    registry.gauge("sketch.compressed.ratio").set(float(store.compression_ratio))
+    registry.gauge("sketch.compressed.encode_s").set(float(store.encode_seconds))
+    registry.gauge("sketch.compressed.decode_s").set(float(store.decode_seconds))
 
 
 def record_stage_times(registry, times: Any) -> None:
