@@ -446,6 +446,108 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="DIR", default=None,
         help="write DIR/metrics.json and DIR/trace.json at end of stream",
     )
+
+    shm = sub.add_parser(
+        "shm",
+        help="shared-memory plane maintenance: list live segments or sweep "
+        "orphans (docs/memory.md)",
+    )
+    shm.add_argument(
+        "action", choices=("list", "sweep"),
+        help="list this host's live segments, or unlink segments whose "
+        "owning process is gone",
+    )
+    shm.add_argument(
+        "--prefix", default="rs",
+        help="segment name prefix to scan (default 'rs')",
+    )
+
+    ctl = sub.add_parser(
+        "control",
+        help="telemetry-driven control plane: probe health, plan actions, "
+        "run the reconcile loop (docs/control.md)",
+    )
+    ctl.add_argument(
+        "action", choices=("run", "status", "plan"),
+        help="run the tick loop over an in-process cluster, probe one "
+        "health sample, or print the action plan for a probe fixture",
+    )
+    ctl.add_argument(
+        "dataset", nargs="?", default="amazon",
+        help="dataset the in-process cluster serves (run/status)",
+    )
+    ctl.add_argument(
+        "--fixture", metavar="FILE", default=None,
+        help="JSON-lines HealthSample fixture driving the policies instead "
+        "of a live probe (makes run/plan deterministic)",
+    )
+    ctl.add_argument(
+        "--dry-run", action="store_true",
+        help="plan actions without applying them (JSON lines per tick)",
+    )
+    ctl.add_argument(
+        "--ticks", type=int, default=None,
+        help="reconcile ticks (default: the fixture's length, or 5 live)",
+    )
+    ctl.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between ticks",
+    )
+    ctl.add_argument("--shards", type=int, default=2, help="shard count")
+    ctl.add_argument(
+        "--replicas", type=int, default=1, help="initial replicas per shard"
+    )
+    ctl.add_argument("--model", default="IC", choices=("IC", "LT"))
+    ctl.add_argument("--epsilon", type=float, default=0.5)
+    ctl.add_argument("--seed", type=int, default=0)
+    ctl.add_argument(
+        "--theta-cap", type=int, default=2000,
+        help="sketch size in RRR sets",
+    )
+    ctl.add_argument(
+        "--p99-slo", type=float, default=0.5, metavar="SECONDS",
+        help="windowed p99 latency SLO the autoscaler defends",
+    )
+    ctl.add_argument(
+        "--shed-slo", type=float, default=1.0, metavar="PER_S",
+        help="shed rate above which the autoscaler treats a tick as a breach",
+    )
+    ctl.add_argument(
+        "--min-replicas", type=int, default=1,
+        help="autoscaler floor (per shard)",
+    )
+    ctl.add_argument(
+        "--max-replicas", type=int, default=4,
+        help="autoscaler ceiling (per shard)",
+    )
+    ctl.add_argument(
+        "--breach-ticks", type=int, default=3,
+        help="consecutive breach ticks before a scale-up",
+    )
+    ctl.add_argument(
+        "--idle-ticks", type=int, default=5,
+        help="consecutive idle ticks before a scale-down",
+    )
+    ctl.add_argument(
+        "--cooldown", type=int, default=5, metavar="TICKS",
+        help="minimum ticks between scale events",
+    )
+    ctl.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="projected-footprint ceiling blocking scale-ups",
+    )
+    ctl.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="fault plan for action/canary scopes, e.g. 'crash@action:0'",
+    )
+    ctl.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's corrupt-mangling RNG",
+    )
+    ctl.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write DIR/metrics.json and DIR/trace.json at exit",
+    )
     return parser
 
 
@@ -1340,6 +1442,169 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shm(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.shm.segments import list_segments, sweep_orphans
+
+    if args.action == "sweep":
+        removed = sweep_orphans(args.prefix)
+        print(
+            json.dumps(
+                {"op": "sweep", "prefix": args.prefix,
+                 "removed": removed, "count": len(removed)}
+            )
+        )
+    else:  # list
+        names = list_segments(args.prefix)
+        print(
+            json.dumps(
+                {"op": "list", "prefix": args.prefix,
+                 "segments": names, "count": len(names)}
+            )
+        )
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    import itertools
+    import json
+
+    from repro import telemetry
+    from repro.control import (
+        AdmissionPolicy,
+        AutoscaleConfig,
+        AutoscalePolicy,
+        Controller,
+        ControllerConfig,
+        HealthProbe,
+        HealthSample,
+        SelfHealPolicy,
+    )
+    from repro.errors import ParameterError
+
+    fault_plan = None
+    if args.inject_faults is not None:
+        from repro.resilience import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+
+    policies = [
+        SelfHealPolicy(),
+        AutoscalePolicy(
+            AutoscaleConfig(
+                p99_slo_s=args.p99_slo,
+                shed_rate_slo=args.shed_slo,
+                breach_ticks=args.breach_ticks,
+                idle_ticks=args.idle_ticks,
+                cooldown_ticks=args.cooldown,
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas,
+                memory_budget_bytes=args.memory_budget,
+            )
+        ),
+        AdmissionPolicy(),
+    ]
+
+    if args.fixture is not None:
+        # Fixture mode: samples come from a JSON-lines file, the clock is a
+        # deterministic tick counter, and actions are never applied — the
+        # output is an exact, reproducible plan.
+        with open(args.fixture) as fh:
+            samples = [
+                HealthSample.from_dict(json.loads(line))
+                for line in fh
+                if line.strip()
+            ]
+        if not samples:
+            raise ParameterError(f"fixture {args.fixture!r} has no samples")
+        if args.action == "status":
+            print(json.dumps(samples[0].to_dict(), default=float))
+            return 0
+        ticks = len(samples) if args.ticks is None else min(
+            args.ticks, len(samples)
+        )
+        feed = iter(samples)
+        steps = itertools.count()
+        controller = Controller(
+            lambda: next(feed),
+            policies,
+            config=ControllerConfig(
+                interval_s=args.interval, dry_run=True
+            ),
+            clock=lambda: float(next(steps)),
+            sleep=lambda _s: None,
+            fault_plan=fault_plan,
+        )
+        for report in controller.run(ticks=ticks):
+            print(json.dumps(report.to_dict(), default=float), flush=True)
+        return 0
+
+    if args.action == "plan":
+        raise ParameterError(
+            "'repro control plan' needs --fixture FILE (a live plan would "
+            "not be reproducible); use 'run --dry-run' against a live stack"
+        )
+
+    from repro.shard import RouterConfig, ShardCluster, ShardPlan, SketchSpec
+
+    plan = ShardPlan(num_shards=args.shards, replication=args.replicas)
+    with telemetry.session() as tel, ShardCluster(
+        plan,
+        router_config=RouterConfig(default_theta=args.theta_cap),
+    ) as cluster:
+        cluster.build(
+            SketchSpec(
+                dataset=args.dataset.lower(),
+                model=args.model,
+                epsilon=args.epsilon,
+                seed=args.seed,
+                num_sets=args.theta_cap,
+            )
+        )
+        probe = HealthProbe(cluster=cluster)
+        controller = Controller(
+            probe,
+            policies,
+            cluster=cluster,
+            config=ControllerConfig(
+                interval_s=args.interval, dry_run=args.dry_run
+            ),
+            fault_plan=fault_plan,
+        )
+        if args.action == "status":
+            print(
+                json.dumps(
+                    {
+                        "sample": probe.sample().to_dict(),
+                        "controller": controller.status(),
+                    },
+                    default=float,
+                )
+            )
+            return 0
+        ticks = 5 if args.ticks is None else args.ticks
+        for report in controller.run(ticks=ticks):
+            print(json.dumps(report.to_dict(), default=float), flush=True)
+        print(
+            json.dumps(
+                {"op": "status", **controller.status()}, default=float
+            ),
+            flush=True,
+        )
+        if args.telemetry is not None:
+            paths = telemetry.write_report(
+                args.telemetry, tel,
+                run={"command": "control run", "ticks": controller.ticks,
+                     **plan.describe()},
+            )
+            print(
+                f"telemetry: {paths['metrics']} {paths['trace']}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.errors import ReproError
 
@@ -1358,6 +1623,8 @@ def main(argv: list[str] | None = None) -> int:
         "shard": lambda: _cmd_shard(args),
         "gateway": lambda: _cmd_gateway(args),
         "update": lambda: _cmd_update(args),
+        "shm": lambda: _cmd_shm(args),
+        "control": lambda: _cmd_control(args),
     }
     cmd = dispatch.get(args.command)
     if cmd is None:

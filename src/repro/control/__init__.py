@@ -1,0 +1,48 @@
+"""repro.control — the telemetry-driven control plane (docs/control.md).
+
+Closes the loop the data-plane layers leave open: probes
+(:mod:`repro.control.probe`) condense stats surfaces and telemetry into
+typed samples, policies (:mod:`repro.control.policy`) turn samples into
+deterministic actions, the rollout gate (:mod:`repro.control.rollout`)
+canaries dynamic epochs before cluster fan-out, and the controller
+(:mod:`repro.control.controller`) applies it all on a tick loop with
+retries and fault injection.  ``repro control run|status|plan`` is the
+CLI entry point.
+"""
+
+from repro.control.controller import Controller, ControllerConfig, TickReport
+from repro.control.policy import (
+    Action,
+    AdmissionConfig,
+    AdmissionPolicy,
+    AutoscaleConfig,
+    AutoscalePolicy,
+    SelfHealConfig,
+    SelfHealPolicy,
+)
+from repro.control.probe import (
+    HealthProbe,
+    HealthSample,
+    RateTracker,
+    ReplicaHealth,
+)
+from repro.control.rollout import EpochRollout, RolloutConfig
+
+__all__ = [
+    "Action",
+    "AdmissionConfig",
+    "AdmissionPolicy",
+    "AutoscaleConfig",
+    "AutoscalePolicy",
+    "Controller",
+    "ControllerConfig",
+    "EpochRollout",
+    "HealthProbe",
+    "HealthSample",
+    "RateTracker",
+    "ReplicaHealth",
+    "RolloutConfig",
+    "SelfHealConfig",
+    "SelfHealPolicy",
+    "TickReport",
+]

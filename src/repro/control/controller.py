@@ -1,0 +1,253 @@
+"""The tick-driven reconcile loop: probe → policies → actions.
+
+:class:`Controller` is the only control-plane piece with side effects.
+Each :meth:`tick` takes one :class:`~repro.control.probe.HealthSample`
+(from a live probe or a fixture), asks every policy for its actions, and
+— unless ``dry_run`` — applies them to the attached handles:
+
+==================  =====================================================
+action kind         applied as
+==================  =====================================================
+``scale_up``        ``cluster.add_replica(shard)`` on every shard
+``scale_down``      ``cluster.remove_replica(shard)`` on every shard
+``revive``          ``cluster.revive(shard, replica)`` (re-warms from shm)
+``quarantine``      bookkeeping only (the policy stops proposing revives)
+``tune_admission``  ``gateway.set_admission(**params)``
+==================  =====================================================
+
+Each application runs under a per-action
+:class:`~repro.resilience.retry.RetryPolicy` and an optional
+:class:`~repro.resilience.faults.FaultPlan` (scope ``"action"``, indexed
+by the controller's global action sequence number), so CI can make a
+revive fail transiently and assert the retry recovers it.  A failed
+action is reported in the tick's outcomes and counted — the loop itself
+never dies.
+
+Clock and sleep are injected; tests drive virtual time, the CLI passes
+the real ones.  Telemetry lands under ``control.*`` (ticks, actions by
+kind, failures, a reconcile-latency histogram).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import telemetry
+from repro.errors import ParameterError, ReproError
+from repro.resilience.retry import RetryPolicy
+from repro.control.probe import HealthProbe, HealthSample
+
+__all__ = ["Controller", "ControllerConfig", "TickReport"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Reconcile-loop knobs."""
+
+    interval_s: float = 1.0
+    dry_run: bool = False
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=2, base_delay_s=0.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ParameterError(
+                f"interval_s must be positive, got {self.interval_s}"
+            )
+
+
+@dataclass
+class TickReport:
+    """What one reconcile tick saw and did (JSON-able)."""
+
+    tick: int
+    ts: float
+    elapsed_s: float
+    sample: HealthSample
+    outcomes: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "ts": self.ts,
+            "elapsed_s": self.elapsed_s,
+            "sample": self.sample.to_dict(),
+            "actions": list(self.outcomes),
+        }
+
+
+class Controller:
+    """Composes one probe and N policies over the attached data plane.
+
+    ``probe`` is a :class:`HealthProbe` or any zero-argument callable
+    returning a :class:`HealthSample` (fixtures plug in here).  Policies
+    are consulted in order; their actions apply in order within a tick.
+    """
+
+    def __init__(
+        self,
+        probe: Any,
+        policies: list[Any],
+        *,
+        cluster: Any = None,
+        gateway: Any = None,
+        rollout: Any = None,
+        config: ControllerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        fault_plan: Any = None,
+    ):
+        if isinstance(probe, HealthProbe):
+            self._probe: Callable[[], HealthSample] = probe.sample
+        elif callable(probe):
+            self._probe = probe
+        else:
+            raise ParameterError(
+                "probe must be a HealthProbe or a callable returning "
+                "a HealthSample"
+            )
+        self.policies = list(policies)
+        self.cluster = cluster
+        self.gateway = gateway
+        self.rollout = rollout
+        self.config = config or ControllerConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self.fault_plan = fault_plan
+        self.ticks = 0
+        self.actions_applied = 0
+        self.action_failures = 0
+        self.scale_events = 0
+        self.revives = 0
+        self._action_seq = 0
+        self.actions_by_kind: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ tick
+    def tick(self) -> TickReport:
+        t0 = self._clock()
+        sample = self._probe()
+        actions = []
+        for policy in self.policies:
+            actions.extend(policy.propose(sample, self.ticks))
+        outcomes: list[dict[str, Any]] = []
+        for action in actions:
+            doc = action.to_dict()
+            seq = self._action_seq
+            self._action_seq += 1
+            if self.config.dry_run:
+                doc["outcome"] = "planned"
+            else:
+                try:
+                    self.config.retry.call(
+                        lambda: self._apply(action, seq),
+                        label=f"control.{action.kind}",
+                    )
+                except ReproError as exc:
+                    doc["outcome"] = "failed"
+                    doc["error"] = f"{type(exc).__name__}: {exc}"
+                    self.action_failures += 1
+                    self._tel_inc("control.action_failures")
+                else:
+                    doc["outcome"] = "applied"
+                    self.actions_applied += 1
+            self.actions_by_kind[action.kind] = (
+                self.actions_by_kind.get(action.kind, 0) + 1
+            )
+            self._tel_inc(f"control.actions.{action.kind}")
+            outcomes.append(doc)
+        self.ticks += 1
+        elapsed = max(0.0, self._clock() - t0)
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("control.ticks").inc()
+            tel.registry.histogram("control.reconcile_s").observe(elapsed)
+        return TickReport(
+            tick=self.ticks - 1, ts=sample.ts, elapsed_s=elapsed,
+            sample=sample, outcomes=outcomes,
+        )
+
+    def run(
+        self,
+        *,
+        ticks: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> list[TickReport]:
+        """Run the loop for ``ticks`` ticks (or until ``should_stop``)."""
+        reports: list[TickReport] = []
+        while ticks is None or len(reports) < ticks:
+            if should_stop is not None and should_stop():
+                break
+            reports.append(self.tick())
+            if ticks is not None and len(reports) >= ticks:
+                break
+            self._sleep(self.config.interval_s)
+        return reports
+
+    # ----------------------------------------------------------------- apply
+    def _apply(self, action, seq: int) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.invoke("action", seq, lambda: None)
+        kind = action.kind
+        if kind == "scale_up":
+            self._require(self.cluster, kind)
+            for shard in range(self.cluster.plan.num_shards):
+                self.cluster.add_replica(shard)
+            self.scale_events += 1
+            self._tel_inc("control.scale_events")
+        elif kind == "scale_down":
+            self._require(self.cluster, kind)
+            for shard in range(self.cluster.plan.num_shards):
+                self.cluster.remove_replica(shard)
+            self.scale_events += 1
+            self._tel_inc("control.scale_events")
+        elif kind == "revive":
+            self._require(self.cluster, kind)
+            self.cluster.revive(
+                int(action.params["shard"]), int(action.params["replica"])
+            )
+            self.revives += 1
+            self._tel_inc("control.revives")
+        elif kind == "quarantine":
+            # The proposing policy already stopped reviving the replica;
+            # nothing to change on the data plane.
+            pass
+        elif kind == "tune_admission":
+            self._require(self.gateway, kind)
+            self.gateway.set_admission(**action.params)
+        else:
+            raise ParameterError(f"unknown action kind {kind!r}")
+
+    @staticmethod
+    def _require(handle: Any, kind: str) -> None:
+        if handle is None:
+            raise ParameterError(
+                f"action {kind!r} needs a handle the controller was not given"
+            )
+
+    # ---------------------------------------------------------------- status
+    def status(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "ticks": self.ticks,
+            "actions_applied": self.actions_applied,
+            "action_failures": self.action_failures,
+            "actions_by_kind": dict(self.actions_by_kind),
+            "scale_events": self.scale_events,
+            "revives": self.revives,
+            "dry_run": self.config.dry_run,
+        }
+        for policy in self.policies:
+            quarantined = getattr(policy, "quarantined", None)
+            if quarantined is not None:
+                doc["quarantined"] = sorted(quarantined)
+        if self.rollout is not None:
+            doc["rollout"] = self.rollout.status()
+        return doc
+
+    @staticmethod
+    def _tel_inc(name: str, amount: float = 1) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter(name).inc(amount)

@@ -1,0 +1,368 @@
+"""Deterministic reconciliation policies: sample in, actions out.
+
+Every policy is a plain object with one method —
+``propose(sample, tick) -> list[Action]`` — and no side effects on the
+stack.  Determinism is the design constraint: given the same sample
+sequence a policy emits the same action sequence, which is what lets
+``repro control plan --fixture`` print an exact plan, lets unit tests
+drive policies from hand-written samples, and keeps the controller's
+dry-run faithful to its live run.
+
+All three policies damp themselves (docs/control.md):
+
+- **hysteresis** — a condition must hold for N consecutive ticks before
+  an action fires (``breach_ticks`` / ``idle_ticks``), so one noisy
+  sample never reconfigures the cluster;
+- **cooldown** — after a scale event the autoscaler holds for
+  ``cooldown_ticks`` regardless of what the samples say, giving the
+  action time to show up in the metrics it was based on;
+- **quarantine** — a replica revived ``flap_threshold`` times within
+  ``flap_window_ticks`` is abandoned to the operator rather than revived
+  a fourth time (crash-looping hardware does not get better by retrying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ParameterError
+from repro.control.probe import HealthSample
+
+__all__ = [
+    "Action",
+    "AdmissionConfig",
+    "AdmissionPolicy",
+    "AutoscaleConfig",
+    "AutoscalePolicy",
+    "SelfHealConfig",
+    "SelfHealPolicy",
+]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One proposed change to the stack, JSON-able for dry-run plans."""
+
+    kind: str          # scale_up | scale_down | revive | quarantine | tune_admission
+    target: str = "cluster"
+    params: dict[str, Any] = field(default_factory=dict)
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "params": dict(self.params),
+            "reason": self.reason,
+        }
+
+
+# --------------------------------------------------------------- autoscaler
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """SLO autoscaler knobs.
+
+    ``memory_budget_bytes`` caps the *projected* post-scale footprint:
+    current sketch + segment bytes plus one more replica-set of per-shard
+    slices (with an shm plane the extra replicas are zero-copy views, so
+    the projection conservatively re-counts the slices anyway — the
+    budget is a ceiling, not an estimate).
+    """
+
+    p99_slo_s: float = 0.5
+    shed_rate_slo: float = 1.0
+    breach_ticks: int = 3
+    idle_ticks: int = 5
+    cooldown_ticks: int = 5
+    min_replicas: int = 1
+    max_replicas: int = 4
+    idle_fraction: float = 0.25
+    memory_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.p99_slo_s <= 0:
+            raise ParameterError(
+                f"p99_slo_s must be positive, got {self.p99_slo_s}"
+            )
+        if self.breach_ticks < 1 or self.idle_ticks < 1:
+            raise ParameterError("breach_ticks and idle_ticks must be >= 1")
+        if self.cooldown_ticks < 0:
+            raise ParameterError(
+                f"cooldown_ticks must be >= 0, got {self.cooldown_ticks}"
+            )
+        if not (1 <= self.min_replicas <= self.max_replicas):
+            raise ParameterError(
+                "need 1 <= min_replicas <= max_replicas, got "
+                f"[{self.min_replicas}, {self.max_replicas}]"
+            )
+        if not (0.0 <= self.idle_fraction < 1.0):
+            raise ParameterError(
+                f"idle_fraction must be in [0, 1), got {self.idle_fraction}"
+            )
+
+
+class AutoscalePolicy:
+    """Scale replication up on sustained SLO breach, down on sustained idle.
+
+    A *breach* is a windowed p99 above the SLO or a shed rate above
+    ``shed_rate_slo``; *idle* is a p99 under ``idle_fraction`` of the SLO
+    with nothing queued and nothing shed.  Both must persist (hysteresis)
+    and respect the cooldown; scale-up additionally respects
+    ``max_replicas`` and the memory budget.  Scaling is uniform — every
+    shard gains or loses one replica — so the cluster's replication stays
+    homogeneous, matching how :class:`ShardPlan` describes it.
+    """
+
+    name = "autoscale"
+
+    def __init__(self, config: AutoscaleConfig | None = None):
+        self.config = config or AutoscaleConfig()
+        self._breach_ticks = 0
+        self._idle_ticks = 0
+        self._last_scale_tick: int | None = None
+        self.blocked_by_memory = 0
+
+    # ------------------------------------------------------------- helpers
+    def _replication(self, sample: HealthSample) -> int:
+        per_shard = sample.replicas_per_shard()
+        if not per_shard:
+            return 0
+        return min(per_shard.values())
+
+    def _in_cooldown(self, tick: int) -> bool:
+        return (
+            self._last_scale_tick is not None
+            and tick - self._last_scale_tick < self.config.cooldown_ticks
+        )
+
+    def _memory_allows(self, sample: HealthSample) -> bool:
+        budget = self.config.memory_budget_bytes
+        if budget is None:
+            return True
+        replication = max(1, self._replication(sample))
+        per_replica_set = sample.sketch_bytes / replication
+        projected = (
+            sample.segment_bytes + sample.sketch_bytes + per_replica_set
+        )
+        return projected <= budget
+
+    # -------------------------------------------------------------- policy
+    def propose(self, sample: HealthSample, tick: int) -> list[Action]:
+        cfg = self.config
+        breach = (
+            sample.p99_latency_s > cfg.p99_slo_s
+            or sample.shed_rate > cfg.shed_rate_slo
+        )
+        idle = (
+            sample.p99_latency_s <= cfg.p99_slo_s * cfg.idle_fraction
+            and sample.shed_rate == 0.0
+            and sample.queue_depth == 0
+        )
+        self._breach_ticks = self._breach_ticks + 1 if breach else 0
+        self._idle_ticks = self._idle_ticks + 1 if idle else 0
+
+        replication = self._replication(sample)
+        if replication == 0 or self._in_cooldown(tick):
+            return []
+        if self._breach_ticks >= cfg.breach_ticks:
+            if replication >= cfg.max_replicas:
+                return []
+            if not self._memory_allows(sample):
+                self.blocked_by_memory += 1
+                return []
+            self._last_scale_tick = tick
+            self._breach_ticks = 0
+            return [
+                Action(
+                    kind="scale_up",
+                    target="cluster",
+                    params={"to": replication + 1},
+                    reason=(
+                        f"p99 {sample.p99_latency_s:.3f}s / shed "
+                        f"{sample.shed_rate:.2f}/s breached the SLO for "
+                        f"{cfg.breach_ticks} ticks"
+                    ),
+                )
+            ]
+        if self._idle_ticks >= cfg.idle_ticks and replication > cfg.min_replicas:
+            self._last_scale_tick = tick
+            self._idle_ticks = 0
+            return [
+                Action(
+                    kind="scale_down",
+                    target="cluster",
+                    params={"to": replication - 1},
+                    reason=(
+                        f"idle for {cfg.idle_ticks} ticks "
+                        f"(p99 {sample.p99_latency_s:.3f}s, empty queue)"
+                    ),
+                )
+            ]
+        return []
+
+
+# ---------------------------------------------------------------- self-heal
+@dataclass(frozen=True)
+class SelfHealConfig:
+    """Replica revival knobs (flap detection bounds the blast radius)."""
+
+    flap_window_ticks: int = 20
+    flap_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.flap_window_ticks < 1 or self.flap_threshold < 1:
+            raise ParameterError(
+                "flap_window_ticks and flap_threshold must be >= 1"
+            )
+
+
+class SelfHealPolicy:
+    """Revive dead replicas; quarantine ones that keep dying.
+
+    A replica revived ``flap_threshold`` times inside
+    ``flap_window_ticks`` is flapping: instead of revive number N+1 the
+    policy emits a one-shot ``quarantine`` action and stops proposing for
+    that replica until :meth:`release` is called.
+    """
+
+    name = "self_heal"
+
+    def __init__(self, config: SelfHealConfig | None = None):
+        self.config = config or SelfHealConfig()
+        self._revive_ticks: dict[str, list[int]] = {}
+        self._quarantined: set[str] = set()
+
+    @property
+    def quarantined(self) -> frozenset[str]:
+        return frozenset(self._quarantined)
+
+    def release(self, name: str) -> bool:
+        """Operator override: let a quarantined replica be revived again."""
+        if name in self._quarantined:
+            self._quarantined.discard(name)
+            self._revive_ticks.pop(name, None)
+            return True
+        return False
+
+    def propose(self, sample: HealthSample, tick: int) -> list[Action]:
+        cfg = self.config
+        actions: list[Action] = []
+        for r in sample.dead_replicas():
+            if r.name in self._quarantined:
+                continue
+            recent = [
+                t
+                for t in self._revive_ticks.get(r.name, [])
+                if tick - t < cfg.flap_window_ticks
+            ]
+            if len(recent) >= cfg.flap_threshold:
+                self._quarantined.add(r.name)
+                actions.append(
+                    Action(
+                        kind="quarantine",
+                        target=r.name,
+                        params={"shard": r.shard, "replica": r.replica},
+                        reason=(
+                            f"{len(recent)} revives within "
+                            f"{cfg.flap_window_ticks} ticks: flapping"
+                        ),
+                    )
+                )
+                continue
+            recent.append(tick)
+            self._revive_ticks[r.name] = recent
+            actions.append(
+                Action(
+                    kind="revive",
+                    target=r.name,
+                    params={"shard": r.shard, "replica": r.replica},
+                    reason="replica is down",
+                )
+            )
+        return actions
+
+
+# ----------------------------------------------------------- admission tuner
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Gateway admission tuner bounds (never exceeded in either direction)."""
+
+    min_queue_depth: int = 16
+    max_queue_depth: int = 1024
+    grow_factor: float = 2.0
+    breach_ticks: int = 2
+    relax_ticks: int = 6
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.min_queue_depth <= self.max_queue_depth):
+            raise ParameterError(
+                "need 1 <= min_queue_depth <= max_queue_depth, got "
+                f"[{self.min_queue_depth}, {self.max_queue_depth}]"
+            )
+        if self.grow_factor <= 1.0:
+            raise ParameterError(
+                f"grow_factor must be > 1, got {self.grow_factor}"
+            )
+        if self.breach_ticks < 1 or self.relax_ticks < 1:
+            raise ParameterError("breach_ticks and relax_ticks must be >= 1")
+
+
+class AdmissionPolicy:
+    """Widen the gateway queue under queue-full shedding, shrink when idle.
+
+    Widening absorbs short bursts without turning them away; it is bounded
+    by ``max_queue_depth`` because an over-deep queue converts sheds into
+    queue-deadline sheds instead (waiting is not serving).  When the queue
+    sits empty with no sheds, depth decays back toward the configured
+    floor so a past burst does not leave the gateway permanently
+    permissive.
+    """
+
+    name = "admission"
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._full_ticks = 0
+        self._calm_ticks = 0
+
+    def propose(self, sample: HealthSample, tick: int) -> list[Action]:
+        cfg = self.config
+        capacity = sample.queue_capacity
+        if capacity <= 0:  # no gateway in the stack
+            return []
+        queue_full_rate = sample.shed_by_cause.get("queue_full", 0.0)
+        self._full_ticks = self._full_ticks + 1 if queue_full_rate > 0 else 0
+        calm = sample.shed_rate == 0.0 and sample.queue_depth == 0
+        self._calm_ticks = self._calm_ticks + 1 if calm else 0
+
+        if self._full_ticks >= cfg.breach_ticks and capacity < cfg.max_queue_depth:
+            depth = min(
+                cfg.max_queue_depth, int(capacity * cfg.grow_factor)
+            )
+            self._full_ticks = 0
+            return [
+                Action(
+                    kind="tune_admission",
+                    target="gateway",
+                    params={"queue_depth": depth},
+                    reason=(
+                        f"queue-full sheds at {queue_full_rate:.2f}/s for "
+                        f"{cfg.breach_ticks} ticks"
+                    ),
+                )
+            ]
+        if self._calm_ticks >= cfg.relax_ticks and capacity > cfg.min_queue_depth:
+            depth = max(
+                cfg.min_queue_depth, int(capacity / cfg.grow_factor)
+            )
+            self._calm_ticks = 0
+            return [
+                Action(
+                    kind="tune_admission",
+                    target="gateway",
+                    params={"queue_depth": depth},
+                    reason=f"no sheds and empty queue for {cfg.relax_ticks} ticks",
+                )
+            ]
+        return []

@@ -123,6 +123,16 @@ class DynamicService:
         if replay and self.served_epoch >= 0:
             self._fan_out(hook, *self._last_published)
 
+    def remove_publish_hook(self, hook: Any) -> bool:
+        """Unsubscribe a publish hook (the control plane's canary rollout
+        interposes itself by swapping hooks); returns whether it was
+        subscribed."""
+        try:
+            self._publish_hooks.remove(hook)
+        except ValueError:
+            return False
+        return True
+
     def _publish(self) -> None:
         """Install the maintainer's epoch (graph + warm sketch) for serving."""
         graph = self.delta.compact()

@@ -278,6 +278,10 @@ class GatewayServer:
             )
         self._engine = engine
         self.stats = GatewayStats()
+        # Queue capacity is enforced here, not by the asyncio.Queue itself,
+        # so the control plane can retune admission depth at runtime
+        # (asyncio.Queue fixes maxsize at construction).
+        self._queue_capacity = self.config.queue_depth
         self.host: str | None = None
         self.port: int | None = None
         self._active = 0
@@ -302,7 +306,9 @@ class GatewayServer:
     async def start(self) -> None:
         """Bind, start the dispatcher, and begin accepting connections."""
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        # Unbounded queue object; depth is bounded by _admit against
+        # _queue_capacity so set_admission can shrink/grow it live.
+        self._queue = asyncio.Queue()
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection,
@@ -504,24 +510,62 @@ class GatewayServer:
                 ).to_dict()
             )
             return
-        try:
-            self._queue.put_nowait(_Pending(query, conn, now))
-        except asyncio.QueueFull:
+        if self._queue.qsize() >= self._queue_capacity:
             self.stats.shed_queue_full += 1
             self._tel_inc("gateway.shed")
             self._tel_inc("gateway.shed_queue_full")
             await conn.send(
                 self._overloaded(
                     query.id,
-                    f"admission queue of depth {self.config.queue_depth} "
+                    f"admission queue of depth {self._queue_capacity} "
                     "is full",
                     self._retry_after(),
                 ).to_dict()
             )
             return
+        self._queue.put_nowait(_Pending(query, conn, now))
         self.stats.accepted += 1
         self._tel_inc("gateway.accepted")
         self._tel_gauge("gateway.queue_depth", self._queue.qsize())
+
+    def set_admission(
+        self,
+        *,
+        queue_depth: int | None = None,
+        rate_limit_per_s: float | None = None,
+        queue_deadline_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Retune admission control live (the control-plane knob).
+
+        Only the supplied knobs change; the new config is validated by
+        :class:`GatewayConfig` itself (``dataclasses.replace`` re-runs
+        ``__post_init__``).  Existing per-client token buckets are updated
+        in place so a rate change applies to connected clients too.
+        Returns the effective admission settings.
+        """
+        updates: dict[str, Any] = {}
+        if queue_depth is not None:
+            updates["queue_depth"] = int(queue_depth)
+        if rate_limit_per_s is not None:
+            updates["rate_limit_per_s"] = float(rate_limit_per_s)
+        if queue_deadline_s is not None:
+            updates["queue_deadline_s"] = float(queue_deadline_s)
+        if updates:
+            self.config = dataclasses.replace(self.config, **updates)
+            self._queue_capacity = self.config.queue_depth
+            if rate_limit_per_s is not None:
+                for bucket in self._buckets.values():
+                    bucket.rate = self.config.rate_limit_per_s
+            self._tel_gauge("gateway.queue_capacity", self._queue_capacity)
+            if self.config.rate_limit_per_s is not None:
+                self._tel_gauge(
+                    "gateway.rate_limit_per_s", self.config.rate_limit_per_s
+                )
+        return {
+            "queue_depth": self._queue_capacity,
+            "rate_limit_per_s": self.config.rate_limit_per_s,
+            "queue_deadline_s": self.config.queue_deadline_s,
+        }
 
     def _predicted_wait_s(self) -> float:
         if self._ema_query_s is None or self._queue is None:
@@ -714,7 +758,12 @@ class GatewayServer:
                 **self.stats.to_dict(),
                 "active_connections": self._active,
                 "queue_depth": self._queue.qsize() if self._queue else 0,
+                "queue_capacity": self._queue_capacity,
+                "queue_deadline_s": self.config.queue_deadline_s,
                 "ema_query_s": self._ema_query_s,
+                "predicted_wait_s": self._predicted_wait_s(),
+                "rate_limit_per_s": self.config.rate_limit_per_s,
+                "rate_buckets": self._bucket_snapshot(),
             },
         }
         snapshot = getattr(self._engine, "stats_snapshot", None)
@@ -724,6 +773,25 @@ class GatewayServer:
         if tel.enabled:
             doc["counters"] = tel.snapshot()["counters"]
         return doc
+
+    def _bucket_snapshot(self) -> dict[str, Any]:
+        """Token-bucket fill summary: how close clients are to rate sheds.
+
+        ``min_fill`` is the lowest tokens/burst fraction over all known
+        clients — 0.0 means at least one client is fully throttled, 1.0
+        means nobody has spent a token.  Fill is read as-of the last
+        ``take``; buckets refill lazily, so an idle bucket under-reports
+        until its owner's next request.
+        """
+        buckets = list(self._buckets.values())
+        if not buckets:
+            return {"clients": 0, "min_fill": 1.0, "tokens": 0.0}
+        fills = [b.tokens / b.burst for b in buckets]
+        return {
+            "clients": len(buckets),
+            "min_fill": round(min(fills), 6),
+            "tokens": round(sum(b.tokens for b in buckets), 6),
+        }
 
     # -------------------------------------------------------------- telemetry
     @staticmethod

@@ -77,7 +77,12 @@ class ShardCluster:
         self.router = Router(self.workers, config=router_config)
         self.sampling_workers = int(sampling_workers)
         self.dataset_scale = float(dataset_scale)
+        self._engine_config = engine_config
         self._installed: dict[str, Any] = {}
+        # Last adopted sketch per dataset: (spec, fingerprint, parts, meta).
+        # This is what lets revive/add_replica re-warm a worker from the
+        # shm tier (or the retained partition) instead of cold-building.
+        self._published: dict[str, tuple] = {}
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -118,6 +123,16 @@ class ShardCluster:
         return [w.name for w in targets]
 
     def revive(self, shard: int, replica: int | None = None) -> list[str]:
+        """Bring replicas back and **re-warm** them from the published tier.
+
+        A revived worker whose cache no longer holds the current sub-sketch
+        (evicted while dead, or a fresh restart) must not fall through to a
+        cold streaming build on its next query: for dynamic epochs a cold
+        re-sample diverges from the maintainer's incrementally repaired
+        store, silently breaking the byte-identity replicas guarantee.
+        Re-warming follows the worker acquisition order — shm segment
+        first, retained partition otherwise.
+        """
         targets = (
             self.replicas(shard)
             if replica is None
@@ -125,7 +140,95 @@ class ShardCluster:
         )
         for w in targets:
             w.revive()
+            self._rewarm(w)
         return [w.name for w in targets]
+
+    # ---------------------------------------------------------------- scaling
+    def add_replica(self, shard: int) -> str:
+        """Attach one more replica to ``shard`` and warm it from the
+        published tier; returns the new worker's name.
+
+        The plan is immutable (its ``replication`` is the *initial* layout
+        and :func:`shard_fingerprint` does not depend on it), so scaling a
+        shard is purely additive: new replicas reuse the exact sub-sketch
+        keys the existing ones serve.
+        """
+        if not (0 <= shard < self.plan.num_shards):
+            raise ParameterError(
+                f"shard {shard} out of range [0, {self.plan.num_shards})"
+            )
+        reps = self.replicas(shard)
+        rid = max(w.replica_id for w in reps) + 1 if reps else 0
+        w = ShardWorker(
+            shard,
+            self.plan,
+            replica_id=rid,
+            config=self._engine_config,
+            sampling_workers=self.sampling_workers,
+            dataset_scale=self.dataset_scale,
+            segment_manager=self.segment_manager,
+        )
+        for ds, g in self._installed.items():
+            w.install_graph(ds, g)
+        self._rewarm(w)
+        self.workers.append(w)
+        self.router.add_worker(w)
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("shard.replicas_added").inc()
+            tel.registry.gauge("shard.num_workers").set(len(self.workers))
+        return w.name
+
+    def remove_replica(self, shard: int, replica: int | None = None) -> str:
+        """Detach a replica (highest replica id by default) from ``shard``;
+        refuses to leave a shard empty.  Returns the removed worker's name."""
+        reps = self.replicas(shard)
+        if len(reps) <= 1:
+            raise ParameterError(
+                f"cannot remove the last replica of shard {shard}"
+            )
+        if replica is None:
+            w = max(reps, key=lambda w: w.replica_id)
+        else:
+            w = self.worker(shard, replica)
+        self.router.remove_worker(w)
+        self.workers.remove(w)
+        w.close()
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.registry.counter("shard.replicas_removed").inc()
+            tel.registry.gauge("shard.num_workers").set(len(self.workers))
+        return w.name
+
+    def _rewarm(self, w: ShardWorker) -> None:
+        """Warm ``w`` with its shard's slice of every published sketch,
+        preferring a zero-copy shm attach over the retained partition."""
+        for spec, fp, parts, meta in self._published.values():
+            sub_fp = shard_fingerprint(fp, w.shard_id, self.plan)
+            if w.engine.cache.get(sub_fp) is not None:
+                continue
+            sub = parts.parts[w.shard_id]
+            counter = sub.vertex_counts()
+            shard_meta = {
+                **(meta or {}),
+                "dataset": spec.dataset, "model": spec.model,
+                "epsilon": spec.epsilon, "seed": spec.seed,
+                "num_sets": spec.num_sets, "shard": w.shard_id,
+                "num_shards": self.plan.num_shards,
+                "strategy": self.plan.strategy,
+            }
+            handle = None
+            if self.segment_manager is not None:
+                handle = self.segment_manager.handle_for(sub_fp)
+            if handle is not None:
+                view = self.segment_manager.attach_store(handle)
+                w._views.append(view)
+                w.stats.shm_attaches += 1
+                w.engine.warm(
+                    sub_fp, view, counter=counter.copy(), meta=shard_meta
+                )
+            else:
+                w.engine.warm(sub_fp, sub, counter=counter, meta=shard_meta)
 
     # ------------------------------------------------------------------ build
     def build(self, spec: SketchSpec) -> dict[str, Any]:
@@ -211,7 +314,12 @@ class ShardCluster:
         shard share one copy of the bytes instead of referencing one
         Python object (or, across processes, holding R copies).  The
         views are tracked per worker and detached on worker close.
+
+        The adopted ``(spec, fingerprint, parts, meta)`` tuple is retained
+        per dataset so later revives / scale-ups re-warm from it instead of
+        cold-building (see :meth:`revive`).
         """
+        self._published[spec.dataset] = (spec, fp, parts, dict(meta or {}))
         summary = []
         for shard in range(self.plan.num_shards):
             sub = parts.parts[shard]

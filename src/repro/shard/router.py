@@ -240,6 +240,37 @@ class Router:
             for r in responses
         ]
 
+    def add_worker(self, worker: ShardWorker) -> None:
+        """Route to one more replica (control-plane scale-up).
+
+        The worker must be built for this router's plan; replica ids may
+        exceed the plan's initial ``replication``.
+        """
+        if worker.plan != self.plan:
+            raise ParameterError(
+                f"worker {worker.name} built for a different ShardPlan"
+            )
+        reps = self._replicas.setdefault(worker.shard_id, [])
+        if any(w.name == worker.name for w in reps):
+            raise ParameterError(f"worker {worker.name} already routed")
+        reps.append(worker)
+        reps.sort(key=lambda w: w.replica_id)
+        self._failures.setdefault(worker.name, 0)
+
+    def remove_worker(self, worker: ShardWorker) -> None:
+        """Stop routing to a replica (control-plane scale-down); refuses
+        to leave a shard with no replicas at all."""
+        reps = self._replicas.get(worker.shard_id, [])
+        if worker not in reps:
+            raise ParameterError(f"worker {worker.name} is not routed")
+        if len(reps) == 1:
+            raise ParameterError(
+                f"removing {worker.name} would leave shard "
+                f"{worker.shard_id} without replicas"
+            )
+        reps.remove(worker)
+        self._failures.pop(worker.name, None)
+
     def health_snapshot(self) -> dict[str, Any]:
         """Per-replica consecutive-failure counts and up/down state."""
         out = {}

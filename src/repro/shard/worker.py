@@ -162,10 +162,11 @@ class ShardWorker:
             raise ParameterError(
                 f"shard_id {shard_id} out of range [0, {plan.num_shards})"
             )
-        if not (0 <= replica_id < plan.replication):
-            raise ParameterError(
-                f"replica_id {replica_id} out of range [0, {plan.replication})"
-            )
+        # ``plan.replication`` is the *initial* replication; the control
+        # plane may scale a shard past it (ShardCluster.add_replica), so
+        # replica ids are only bounded below.
+        if replica_id < 0:
+            raise ParameterError(f"replica_id must be >= 0, got {replica_id}")
         self.shard_id = int(shard_id)
         self.replica_id = int(replica_id)
         self.plan = plan
@@ -248,6 +249,11 @@ class ShardWorker:
         for key in [k for k in self._graphs if k[0] == ds]:
             del self._graphs[key]
         return fp
+
+    def installed_graph(self, dataset: str) -> tuple[Any, str] | None:
+        """The ``(graph, fingerprint)`` installed for ``dataset`` (or None).
+        The rollout canary uses this to restore the previous epoch."""
+        return self._installed.get(str(dataset).lower())
 
     def _resolve_graph(self, spec: SketchSpec) -> tuple[Any, str]:
         installed = self._installed.get(spec.dataset)

@@ -33,8 +33,36 @@ class TestVerbSurface:
         assert {
             "list", "datasets", "experiment", "run", "trace", "sweep",
             "extract-results", "validate", "query", "serve", "update",
-            "shard", "gateway",
+            "shard", "gateway", "shm", "control",
         } <= verbs
+
+    def test_control_parser_accepts_documented_flags(self):
+        args = cli.build_parser().parse_args(
+            [
+                "control", "run", "amazon", "--shards", "2", "--replicas",
+                "2", "--theta-cap", "500", "--ticks", "3", "--interval",
+                "0.5", "--dry-run", "--p99-slo", "0.2", "--shed-slo", "2",
+                "--min-replicas", "1", "--max-replicas", "3",
+                "--breach-ticks", "2", "--idle-ticks", "4", "--cooldown",
+                "6", "--memory-budget", "1000000", "--inject-faults",
+                "crash@action:0", "--fault-seed", "7", "--telemetry", "tel",
+            ]
+        )
+        assert args.command == "control" and args.action == "run"
+        assert args.dry_run and args.max_replicas == 3
+        assert args.memory_budget == 1000000
+
+        args = cli.build_parser().parse_args(
+            ["control", "plan", "--fixture", "probe.jsonl"]
+        )
+        assert args.action == "plan" and args.fixture == "probe.jsonl"
+
+    def test_shm_parser_accepts_documented_flags(self):
+        args = cli.build_parser().parse_args(
+            ["shm", "sweep", "--prefix", "rs"]
+        )
+        assert args.command == "shm" and args.action == "sweep"
+        assert args.prefix == "rs"
 
     def test_list_output_names_every_verb(self, capsys):
         assert cli.main(["list"]) == 0

@@ -1,0 +1,232 @@
+"""Unit tests for repro.control.policy: every policy is deterministic,
+sample-in actions-out, and damped (hysteresis, cooldown, quarantine).
+
+The samples here are hand-written fixtures — no cluster, no gateway —
+which is exactly the property the policies are designed around.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import (
+    AdmissionConfig,
+    AdmissionPolicy,
+    AutoscaleConfig,
+    AutoscalePolicy,
+    HealthSample,
+    ReplicaHealth,
+    SelfHealConfig,
+    SelfHealPolicy,
+)
+from repro.errors import ParameterError
+
+
+def sample(
+    *,
+    shards=1,
+    replication=1,
+    p99=0.0,
+    shed=0.0,
+    queue_depth=0,
+    queue_capacity=0,
+    dead=(),
+    shed_by_cause=None,
+    sketch_bytes=0,
+    segment_bytes=0,
+):
+    replicas = tuple(
+        ReplicaHealth(
+            name=f"s{s}r{r}", shard=s, replica=r, dead=(s, r) in set(dead)
+        )
+        for s in range(shards)
+        for r in range(replication)
+    )
+    return HealthSample(
+        ts=0.0,
+        num_shards=shards,
+        replicas=replicas,
+        queue_depth=queue_depth,
+        queue_capacity=queue_capacity,
+        shed_rate=shed,
+        shed_by_cause=dict(shed_by_cause or {}),
+        p99_latency_s=p99,
+        sketch_bytes=sketch_bytes,
+        segment_bytes=segment_bytes,
+        source="fixture",
+    )
+
+
+BREACH = dict(p99=1.0)
+IDLE = dict(p99=0.0)
+
+
+class TestAutoscalePolicy:
+    def make(self, **kw):
+        kw.setdefault("p99_slo_s", 0.5)
+        kw.setdefault("breach_ticks", 3)
+        kw.setdefault("idle_ticks", 2)
+        kw.setdefault("cooldown_ticks", 0)
+        kw.setdefault("max_replicas", 4)
+        return AutoscalePolicy(AutoscaleConfig(**kw))
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            AutoscaleConfig(p99_slo_s=0)
+        with pytest.raises(ParameterError):
+            AutoscaleConfig(breach_ticks=0)
+        with pytest.raises(ParameterError):
+            AutoscaleConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ParameterError):
+            AutoscaleConfig(idle_fraction=1.0)
+
+    def test_hysteresis_requires_consecutive_breaches(self):
+        p = self.make()
+        assert p.propose(sample(**BREACH), 0) == []
+        assert p.propose(sample(**BREACH), 1) == []
+        # A single healthy tick resets the streak.
+        assert p.propose(sample(p99=0.1), 2) == []
+        assert p.propose(sample(**BREACH), 3) == []
+        assert p.propose(sample(**BREACH), 4) == []
+        [action] = p.propose(sample(**BREACH), 5)
+        assert action.kind == "scale_up" and action.params == {"to": 2}
+
+    def test_shed_rate_alone_is_a_breach(self):
+        p = self.make(breach_ticks=1, shed_rate_slo=1.0)
+        [action] = p.propose(sample(shed=5.0), 0)
+        assert action.kind == "scale_up"
+
+    def test_cooldown_blocks_consecutive_scale_events(self):
+        p = self.make(breach_ticks=1, cooldown_ticks=3)
+        assert p.propose(sample(**BREACH), 0)[0].kind == "scale_up"
+        assert p.propose(sample(**BREACH), 1) == []
+        assert p.propose(sample(**BREACH), 2) == []
+        # Cooldown over; the breach streak re-accumulated meanwhile.
+        assert p.propose(sample(**BREACH), 3)[0].kind == "scale_up"
+
+    def test_max_replicas_is_a_hard_ceiling(self):
+        p = self.make(breach_ticks=1, max_replicas=2)
+        assert p.propose(sample(replication=2, **BREACH), 0) == []
+
+    def test_memory_budget_blocks_scale_up(self):
+        p = self.make(breach_ticks=1, memory_budget_bytes=100)
+        assert (
+            p.propose(sample(sketch_bytes=80, segment_bytes=40, **BREACH), 0)
+            == []
+        )
+        assert p.blocked_by_memory == 1
+        # Under budget the same breach scales.
+        p2 = self.make(breach_ticks=1, memory_budget_bytes=10_000)
+        [action] = p2.propose(
+            sample(sketch_bytes=80, segment_bytes=40, **BREACH), 0
+        )
+        assert action.kind == "scale_up"
+
+    def test_idle_scales_down_but_not_below_min(self):
+        p = self.make(min_replicas=1)
+        assert p.propose(sample(replication=2, **IDLE), 0) == []
+        [action] = p.propose(sample(replication=2, **IDLE), 1)
+        assert action.kind == "scale_down" and action.params == {"to": 1}
+        # At the floor, idleness never proposes anything.
+        p2 = self.make(min_replicas=1)
+        for t in range(6):
+            assert p2.propose(sample(replication=1, **IDLE), t) == []
+
+    def test_idle_requires_empty_queue_and_no_sheds(self):
+        p = self.make()
+        for t in range(5):
+            assert p.propose(sample(replication=2, queue_depth=3), t) == []
+        assert p._idle_ticks == 0
+
+    def test_no_replicas_means_no_actions(self):
+        p = self.make(breach_ticks=1)
+        assert p.propose(sample(shards=0, replication=0, **BREACH), 0) == []
+
+
+class TestSelfHealPolicy:
+    def test_revives_dead_replicas(self):
+        p = SelfHealPolicy()
+        [action] = p.propose(sample(replication=2, dead=[(0, 1)]), 0)
+        assert action.kind == "revive"
+        assert action.target == "s0r1"
+        assert action.params == {"shard": 0, "replica": 1}
+
+    def test_flapping_replica_is_quarantined_once(self):
+        p = SelfHealPolicy(SelfHealConfig(flap_window_ticks=10, flap_threshold=3))
+        dead = sample(replication=2, dead=[(0, 1)])
+        for t in range(3):
+            [action] = p.propose(dead, t)
+            assert action.kind == "revive"
+        [action] = p.propose(dead, 3)
+        assert action.kind == "quarantine" and action.target == "s0r1"
+        assert p.quarantined == frozenset({"s0r1"})
+        # Quarantine is one-shot: afterwards the replica is ignored.
+        assert p.propose(dead, 4) == []
+
+    def test_release_reenables_revival(self):
+        p = SelfHealPolicy(SelfHealConfig(flap_window_ticks=10, flap_threshold=1))
+        dead = sample(dead=[(0, 0)])
+        assert p.propose(dead, 0)[0].kind == "revive"
+        assert p.propose(dead, 1)[0].kind == "quarantine"
+        assert p.release("s0r0") is True
+        assert p.release("s0r0") is False  # already released
+        assert p.propose(dead, 2)[0].kind == "revive"
+
+    def test_old_revives_age_out_of_the_window(self):
+        p = SelfHealPolicy(SelfHealConfig(flap_window_ticks=5, flap_threshold=2))
+        dead = sample(dead=[(0, 0)])
+        assert p.propose(dead, 0)[0].kind == "revive"
+        # 10 ticks later the earlier revive no longer counts as flapping.
+        assert p.propose(dead, 10)[0].kind == "revive"
+        assert p.quarantined == frozenset()
+
+
+class TestAdmissionPolicy:
+    def make(self, **kw):
+        kw.setdefault("min_queue_depth", 4)
+        kw.setdefault("max_queue_depth", 64)
+        kw.setdefault("breach_ticks", 2)
+        kw.setdefault("relax_ticks", 2)
+        return AdmissionPolicy(AdmissionConfig(**kw))
+
+    def test_no_gateway_no_actions(self):
+        p = self.make()
+        assert p.propose(sample(queue_capacity=0), 0) == []
+
+    def test_sustained_queue_full_grows_depth_bounded(self):
+        p = self.make()
+        full = sample(
+            queue_capacity=48, shed=2.0, shed_by_cause={"queue_full": 2.0}
+        )
+        assert p.propose(full, 0) == []
+        [action] = p.propose(full, 1)
+        assert action.kind == "tune_admission" and action.target == "gateway"
+        assert action.params == {"queue_depth": 64}  # capped at max, not 96
+
+    def test_at_max_depth_growth_stops(self):
+        p = self.make()
+        full = sample(
+            queue_capacity=64, shed=2.0, shed_by_cause={"queue_full": 2.0}
+        )
+        for t in range(4):
+            assert p.propose(full, t) == []
+
+    def test_calm_shrinks_back_toward_the_floor(self):
+        p = self.make()
+        calm = sample(queue_capacity=64)
+        assert p.propose(calm, 0) == []
+        [action] = p.propose(calm, 1)
+        assert action.params == {"queue_depth": 32}
+        # At the floor nothing shrinks further.
+        p2 = self.make()
+        floor = sample(queue_capacity=4)
+        for t in range(4):
+            assert p2.propose(floor, t) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ParameterError):
+            AdmissionConfig(min_queue_depth=10, max_queue_depth=5)
+        with pytest.raises(ParameterError):
+            AdmissionConfig(grow_factor=1.0)
+        with pytest.raises(ParameterError):
+            AdmissionConfig(breach_ticks=0)

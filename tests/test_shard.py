@@ -134,7 +134,12 @@ class TestShardWorker:
         with pytest.raises(ParameterError):
             ShardWorker(2, plan)
         with pytest.raises(ParameterError):
-            ShardWorker(0, plan, replica_id=1)
+            ShardWorker(0, plan, replica_id=-1)
+        # ``plan.replication`` is only the *initial* layout: the control
+        # plane may scale a shard past it, so higher replica ids are legal.
+        w = ShardWorker(0, plan, replica_id=3)
+        assert w.name == "s0r3"
+        w.close()
 
     @pytest.mark.parametrize("strategy", ["hash", "block", "balanced"])
     def test_cold_build_matches_partitioned_full_sketch(self, strategy):
@@ -297,3 +302,86 @@ class TestShardCluster:
             assert snap["plan"]["num_shards"] == 2
             assert len(snap["workers"]) == 2
             assert "router" in snap and "health" in snap
+
+    def test_revive_rewarms_from_shm_before_partition(self):
+        """Regression: a revived replica whose cache was dropped must
+        re-acquire its sub-sketch in the warm order — shm segment attach
+        first, retained partition second — and never cold-build (a cold
+        re-sample of a dynamic epoch would diverge from the maintainer's
+        repaired store)."""
+        import repro.shm as shm
+        from repro.service.protocol import IMQuery
+
+        g = small_graph()
+        plan = ShardPlan(num_shards=2, replication=2)
+        q = IMQuery(dataset="synth", k=6, seed=3, theta_cap=THETA)
+        m = shm.SegmentManager(prefix="trw")
+        try:
+            with ShardCluster(
+                plan,
+                engine_config=EngineConfig(persist=False),
+                segment_manager=m,
+            ) as cluster:
+                cluster.install_graph("synth", g)
+                summary = cluster.build(spec_for())
+                expected = cluster.query(q)
+                sub_fp = shard_fingerprint(summary["fingerprint"], 0, plan)
+                w = cluster.worker(0, 1)
+                attaches = w.stats.shm_attaches
+                cluster.kill(0, 1)
+                w.engine.cache.clear()  # evicted while down
+                cluster.revive(0, 1)
+                # The shm tier won: one new zero-copy attach, warm cache,
+                # no cold build.
+                assert w.stats.shm_attaches == attaches + 1
+                assert w.engine.cache.get(sub_fp) is not None
+                assert w.stats.cold_builds == 0
+                got = cluster.query(q)
+                assert got.ok and not got.degraded
+                assert got.seeds == expected.seeds
+        finally:
+            m.close()
+
+    def test_revive_rewarms_from_retained_partition_without_shm(self):
+        g = small_graph()
+        plan = ShardPlan(num_shards=2, replication=2)
+        with ShardCluster(plan) as cluster:
+            cluster.install_graph("synth", g)
+            summary = cluster.build(spec_for())
+            sub_fp = shard_fingerprint(summary["fingerprint"], 1, plan)
+            w = cluster.worker(1, 0)
+            cluster.kill(1, 0)
+            w.engine.cache.clear()
+            cluster.revive(1, 0)
+            assert w.engine.cache.get(sub_fp) is not None
+            assert w.stats.shm_attaches == 0
+            assert w.stats.cold_builds == 0
+
+    def test_add_and_remove_replica_round_trip(self):
+        """Scaling is additive on an immutable plan: the new replica reuses
+        the published sub-sketch keys, answers stay byte-identical, and
+        removal refuses to empty a shard."""
+        from repro.service.protocol import IMQuery
+
+        g = small_graph()
+        plan = ShardPlan(num_shards=2, replication=1)
+        q = IMQuery(dataset="synth", k=6, seed=3, theta_cap=THETA)
+        with ShardCluster(plan) as cluster:
+            cluster.install_graph("synth", g)
+            cluster.build(spec_for())
+            expected = cluster.query(q)
+            assert cluster.add_replica(0) == "s0r1"
+            assert cluster.add_replica(1) == "s1r1"
+            assert len(cluster.workers) == 4
+            for shard in (0, 1):
+                w = cluster.worker(shard, 1)
+                assert w.stats.cold_builds == 0
+            got = cluster.query(q)
+            assert got.seeds == expected.seeds and not got.degraded
+            assert cluster.remove_replica(0) == "s0r1"  # highest id default
+            assert cluster.remove_replica(1, replica=1) == "s1r1"
+            assert cluster.query(q).seeds == expected.seeds
+            with pytest.raises(ParameterError):
+                cluster.remove_replica(0)  # never empty a shard
+            with pytest.raises(ParameterError):
+                cluster.add_replica(9)
