@@ -38,6 +38,20 @@ _EXPERIMENTS = (
 )
 
 
+def _add_kernel_args(p: argparse.ArgumentParser) -> None:
+    """Sampling-kernel switch, shared by every verb that draws RRR sets."""
+    p.add_argument(
+        "--kernel", default=None, choices=("batched", "scalar"),
+        help="counter-stream sampling kernel; both choices yield "
+        "byte-identical sets, 'batched' vectorizes across sets "
+        "(default: legacy per-worker RNG path; docs/performance.md)",
+    )
+    p.add_argument(
+        "--kernel-batch", type=int, default=64, metavar="B",
+        help="RRR sets per vectorized pass (batched kernel only)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -131,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed for the fault plan's corrupt-mangling RNG",
     )
+    _add_kernel_args(run)
 
     trace = sub.add_parser(
         "trace",
@@ -154,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory", action="store_true",
         help="also attribute tracemalloc memory to spans (slower)",
     )
+    _add_kernel_args(trace)
 
     query = sub.add_parser(
         "query",
@@ -183,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--json", action="store_true", help="print the raw JSON response"
     )
+    _add_kernel_args(query)
 
     serve = sub.add_parser(
         "serve",
@@ -212,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="DIR", default=None,
         help="write DIR/metrics.json and DIR/trace.json at shutdown",
     )
+    _add_kernel_args(serve)
 
     shard = sub.add_parser(
         "shard",
@@ -275,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw JSON response (query action)",
     )
+    _add_kernel_args(shard)
 
     gw = sub.add_parser(
         "gateway",
@@ -404,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--zipf", type=float, default=1.1,
         help="zipf skew of the loadgen k mix",
     )
+    _add_kernel_args(gw)
 
     update = sub.add_parser(
         "update",
@@ -446,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="DIR", default=None,
         help="write DIR/metrics.json and DIR/trace.json at end of stream",
     )
+    _add_kernel_args(update)
 
     shm = sub.add_parser(
         "shm",
@@ -567,6 +588,104 @@ def command_help() -> dict[str, str]:
     raise AssertionError("parser has no subcommands")
 
 
+def render_cli_reference() -> str:
+    """Render ``docs/cli.md`` from the live argparse surface.
+
+    The page is *generated*, never hand-edited: ``tools/gen_cli_docs.py``
+    writes it and ``tests/test_cli_surface.py`` regenerates and diffs it so
+    any parser change that forgets to refresh the page fails CI.  Help text
+    is formatted at a fixed 80-column width so the output does not depend
+    on the invoking terminal.
+    """
+    import inspect
+    import os
+
+    import repro.errors as errors_mod
+
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    saved_columns = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        lines = [
+            "# CLI reference",
+            "",
+            "> **Generated page — do not edit.**  Regenerate with "
+            "`python tools/gen_cli_docs.py`;",
+            "> `tests/test_cli_surface.py` diffs this file against the live "
+            "parser on every run.",
+            "",
+            "All verbs are invoked as `repro <verb> ...` "
+            "(equivalently `python -m repro`, with `PYTHONPATH=src` from a "
+            "checkout).",
+            "",
+            "## Verbs",
+            "",
+            "| verb | summary |",
+            "| --- | --- |",
+        ]
+        verbs = command_help()
+        for verb, help_text in verbs.items():
+            anchor = "repro-" + verb.replace(" ", "-")
+            lines.append(f"| [`{verb}`](#{anchor}) | {help_text} |")
+        lines.append("")
+        for verb in verbs:
+            lines += [
+                f"## `repro {verb}`",
+                "",
+                "```text",
+                sub.choices[verb].format_help().rstrip(),
+                "```",
+                "",
+            ]
+        lines += [
+            "## Exit codes",
+            "",
+            "Every error class in `repro.errors` carries a stable "
+            "`exit_code`; the CLI exits",
+            "with it when that error escapes a verb "
+            "(see docs/resilience.md for the recovery",
+            "semantics behind each one).  One-shot query verbs additionally "
+            "map response",
+            "status to exit code: "
+            + ", ".join(
+                f"`{status}` → {code}"
+                for status, code in sorted(
+                    _STATUS_EXIT.items(), key=lambda kv: kv[1]
+                )
+            )
+            + ".",
+            "",
+            "| code | error class | meaning |",
+            "| --- | --- | --- |",
+            "| 0 | — | success |",
+        ]
+        classes = sorted(
+            (
+                obj
+                for name in dir(errors_mod)
+                if inspect.isclass(obj := getattr(errors_mod, name))
+                and issubclass(obj, errors_mod.ReproError)
+                and obj is not errors_mod.ReproError
+            ),
+            key=lambda c: (c.exit_code, c.__name__),
+        )
+        for cls in classes:
+            summary = (cls.__doc__ or "").strip().splitlines()[0].rstrip(".")
+            summary = summary.replace("|", "\\|")  # keep the table well-formed
+            lines.append(f"| {cls.exit_code} | `{cls.__name__}` | {summary} |")
+        lines.append("")
+        return "\n".join(lines)
+    finally:
+        if saved_columns is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = saved_columns
+
+
 def _cmd_list() -> int:
     from repro.graph.datasets import dataset_names
 
@@ -644,6 +763,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     params = IMMParams(
         k=args.k, epsilon=args.epsilon, model=args.model,
         seed=args.seed, theta_cap=args.theta_cap,
+        kernel=args.kernel, kernel_batch=args.kernel_batch,
     )
     algo = (
         EfficientIMM(graph) if args.framework == "efficientimm"
@@ -705,6 +825,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     params = IMMParams(
         k=args.k, epsilon=args.epsilon, model=args.model,
         seed=args.seed, theta_cap=args.theta_cap,
+        kernel=args.kernel, kernel_batch=args.kernel_batch,
     )
     algo = (
         EfficientIMM(graph) if args.framework == "efficientimm"
@@ -821,6 +942,9 @@ def _engine_config(args: argparse.Namespace, **overrides):
         kwargs["cache_budget_bytes"] = args.cache_bytes
     if getattr(args, "artifacts", None) is not None:
         kwargs["artifact_dir"] = args.artifacts
+    if getattr(args, "kernel", None) is not None:
+        kwargs["kernel"] = args.kernel
+        kwargs["kernel_batch"] = args.kernel_batch
     kwargs.update(overrides)
     return EngineConfig(**kwargs)
 
@@ -1320,6 +1444,8 @@ def _cmd_update(args: argparse.Namespace) -> int:
         seed=args.seed,
         full_resample_threshold=args.threshold,
         repair=args.repair,
+        kernel=args.kernel,
+        kernel_batch=args.kernel_batch,
     )
 
     # With --resume, commits up to the checkpointed epoch are replayed

@@ -38,20 +38,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.faults import FaultPlan
     from repro.resilience.retry import RetryPolicy
 
-__all__ = ["parallel_generate", "worker_task"]
+__all__ = ["kernel_worker_task", "parallel_generate", "worker_task"]
 
 # Per-process state installed by the initializer (fork-shared graph).
 _WORKER_MODEL = None
+_WORKER_KERNEL: tuple[str, int, int] | None = None  # (kernel, batch, seed)
 
 
-def _init_worker(graph: CSRGraph, model_name: str) -> None:
-    global _WORKER_MODEL
+def _init_worker(
+    graph: CSRGraph, model_name: str, kernel_info=None
+) -> None:
+    global _WORKER_MODEL, _WORKER_KERNEL
     _WORKER_MODEL = get_model(model_name, graph)
+    _WORKER_KERNEL = kernel_info
     # Materialise the transpose (and LT cumsums) once, pre-fork-warm.
     _WORKER_MODEL.reverse_graph  # noqa: B018 - intentional touch
 
 
-def _init_worker_shared(graph_handle, model_name: str) -> None:
+def _init_worker_shared(graph_handle, model_name: str, kernel_info=None) -> None:
     """Spawn-mode initializer: attach the graph from its shm segment.
 
     Module-level and picklable; what crosses the process boundary is the
@@ -63,7 +67,7 @@ def _init_worker_shared(graph_handle, model_name: str) -> None:
     """
     from repro import shm
 
-    _init_worker(shm.attach_graph(graph_handle), model_name)
+    _init_worker(shm.attach_graph(graph_handle), model_name, kernel_info)
 
 
 def worker_task(args: tuple[int, int]) -> tuple[bytes, np.ndarray]:
@@ -105,6 +109,38 @@ def worker_task(args: tuple[int, int]) -> tuple[bytes, np.ndarray]:
     return flat.astype(np.int32).tobytes(), sizes
 
 
+def kernel_worker_task(args: tuple[int, int]) -> tuple[bytes, np.ndarray]:
+    """Draw the sets with global indices ``[start, start + count)``.
+
+    Kernel-mode counterpart of :func:`worker_task`: per-set randomness is
+    keyed by the run seed and the *global* set index
+    (:func:`repro.kernels.sample_indexed`), so the union over workers is
+    byte-identical no matter how the index space was partitioned, which
+    worker drew which chunk, or how the pool was started.
+    """
+    from repro.kernels import KernelSampler
+
+    start, count = args
+    model = _WORKER_MODEL
+    if model is None:
+        raise RuntimeError("worker not initialised")
+    if _WORKER_KERNEL is None:
+        raise RuntimeError("worker initialised without kernel config")
+    kernel, batch, seed = _WORKER_KERNEL
+    flat, sizes, _edges = KernelSampler(model, kernel, batch).sample_indexed(
+        seed, start, count
+    )
+    tel = telemetry.get()
+    if tel.enabled and count:
+        reg = tel.registry
+        reg.counter("sampling.rrr_sets").inc(count)
+        reg.counter("sampling.edges_examined").inc(int(_edges.sum()))
+        hist = reg.histogram("sampling.set_size")
+        for s in sizes.tolist():
+            hist.observe(s)
+    return flat.tobytes(), sizes
+
+
 def parallel_generate(
     graph: CSRGraph,
     model_name: str,
@@ -116,6 +152,8 @@ def parallel_generate(
     retry: "RetryPolicy | None" = None,
     faults: "FaultPlan | None" = None,
     start_method: str = "fork",
+    kernel: str | None = None,
+    kernel_batch: int = 64,
 ) -> FlatRRRStore:
     """Generate ``count`` RRR sets across ``num_workers`` processes.
 
@@ -134,6 +172,14 @@ def parallel_generate(
     handoff is a segment handle, not the adjacency arrays, and the drawn
     sets are identical for a given ``(seed, num_workers)``.  Ignored when
     a ``backend`` is supplied (its start method was fixed at construction).
+
+    ``kernel="batched"``/``"scalar"`` switches workers to the counter-stream
+    kernels of :mod:`repro.kernels`: each worker pulls a contiguous chunk of
+    global set indices and samples it batched over its (fork- or shm-shared)
+    graph view.  Because per-set randomness is keyed by ``(seed, index)``
+    the store bytes are identical for *any* ``num_workers`` and either start
+    method — a stronger guarantee than the legacy path's per-``(seed,
+    num_workers)`` determinism.
     """
     if count < 0:
         raise ParameterError(f"count must be >= 0, got {count}")
@@ -143,16 +189,33 @@ def parallel_generate(
         raise ParameterError(
             f"unknown start_method {start_method!r}; expected 'fork' or 'spawn'"
         )
+    if kernel is not None:
+        from repro.kernels import check_kernel
 
-    # Derive per-worker independent streams; split the count evenly.
-    worker_seeds = [
-        int(r.integers(0, 2**62)) for r in spawn_rngs(seed, num_workers)
-    ]
+        check_kernel(kernel)
+
     base, extra = divmod(count, num_workers)
-    tasks = [
-        (worker_seeds[w], base + (1 if w < extra else 0))
-        for w in range(num_workers)
-    ]
+    if kernel is None:
+        # Derive per-worker independent streams; split the count evenly.
+        worker_seeds = [
+            int(r.integers(0, 2**62)) for r in spawn_rngs(seed, num_workers)
+        ]
+        tasks = [
+            (worker_seeds[w], base + (1 if w < extra else 0))
+            for w in range(num_workers)
+        ]
+        task_fn = worker_task
+        kernel_info = None
+    else:
+        # Contiguous chunks of the global index space, in worker order.
+        tasks = []
+        start = 0
+        for w in range(num_workers):
+            span = base + (1 if w < extra else 0)
+            tasks.append((start, span))
+            start += span
+        task_fn = kernel_worker_task
+        kernel_info = (kernel, kernel_batch, int(seed))
 
     owns_backend = backend is None
     segment_manager = None
@@ -165,15 +228,17 @@ def parallel_generate(
             backend = MultiprocessBackend(
                 num_workers,
                 initializer=_init_worker_shared,
-                initargs=(handle, model_name),
+                initargs=(handle, model_name, kernel_info),
                 start_method="spawn",
             )
         else:
             backend = MultiprocessBackend(
-                num_workers, initializer=_init_worker, initargs=(graph, model_name)
+                num_workers,
+                initializer=_init_worker,
+                initargs=(graph, model_name, kernel_info),
             )
     elif isinstance(backend, SerialBackend):
-        _init_worker(graph, model_name)
+        _init_worker(graph, model_name, kernel_info)
     if retry is not None:
         backend.retry_policy = retry
     if faults is not None:
@@ -185,7 +250,7 @@ def parallel_generate(
         backend=backend.backend_name, num_workers=num_workers, count=count,
     ):
         try:
-            results = backend.run_tasks(worker_task, tasks)
+            results = backend.run_tasks(task_fn, tasks)
         finally:
             if owns_backend:
                 backend.close()

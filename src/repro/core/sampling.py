@@ -131,7 +131,15 @@ def charge_per_set(
 
 @dataclass
 class SamplingConfig:
-    """How the sampler behaves; the two presets mirror the frameworks."""
+    """How the sampler behaves; the two presets mirror the frameworks.
+
+    ``kernel`` selects the sampling implementation: ``None`` (default) is
+    the legacy per-root path over a sequential ``np.random.Generator``;
+    ``"batched"``/``"scalar"`` route through :mod:`repro.kernels`'s
+    counter-stream kernels (byte-identical to each other, but a different
+    random stream from the legacy path).  ``kernel_batch`` is the number of
+    sets per vectorised pass for the batched kernel.
+    """
 
     num_threads: int = 1
     fused: bool = True  # EfficientIMM: update counter as sets are produced
@@ -139,6 +147,8 @@ class SamplingConfig:
     chunk_size: int = 8
     adaptive_policy: AdaptivePolicy | None = None  # None = all sorted lists
     memory_budget_bytes: int | None = None
+    kernel: str | None = None
+    kernel_batch: int = 64
 
     @classmethod
     def ripples(cls, num_threads: int = 1, **kw) -> "SamplingConfig":
@@ -170,6 +180,19 @@ class RRRSampler:
         self.model = model
         self.config = config
         self.rng = as_rng(seed)
+        self._kernel_sampler = None
+        if config.kernel is not None:
+            from repro.kernels import KernelSampler
+
+            if not isinstance(seed, (int, np.integer)):
+                raise ParameterError(
+                    "kernel sampling needs an integer seed (counter streams "
+                    "are keyed by (seed, set_index), not by Generator state)"
+                )
+            self.seed = int(seed)
+            self._kernel_sampler = KernelSampler(
+                model, config.kernel, config.kernel_batch
+            )
         n = model.graph.num_vertices
         # The physical layout always keeps sets internally sorted so both
         # selection kernels can binary-search them; what differs between the
@@ -184,6 +207,9 @@ class RRRSampler:
     # ---------------------------------------------------------------- main
     def extend(self, target_count: int) -> None:
         """Generate sets until the store holds ``target_count`` of them."""
+        if self._kernel_sampler is not None:
+            self.sample_batch(target_count)
+            return
         cfg = self.config
         n = self.model.graph.num_vertices
         tel = telemetry.get()
@@ -223,6 +249,44 @@ class RRRSampler:
         self._check_budget()
         if tel.enabled and new_sizes:
             self._record_telemetry(tel, new_sizes, new_edges, time.perf_counter() - t0)
+
+    def sample_batch(self, target_count: int) -> None:
+        """Kernel-mode extend: draw the missing sets in vectorised batches.
+
+        Set *i* (global store index) is produced from the counter stream
+        keyed by ``(seed, i)``, so growing the store in any number of calls
+        of any size yields the same bytes — which also makes checkpoint
+        resume (store length = next index) work unchanged.
+        """
+        cfg = self.config
+        count = target_count - len(self.store)
+        if count <= 0:
+            return
+        n = self.model.graph.num_vertices
+        tel = telemetry.get()
+        t0 = time.perf_counter() if tel.enabled else 0.0
+        start = len(self.store)
+        flat, sizes, edges = self._kernel_sampler.sample_indexed(
+            self.seed, start, count
+        )
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        for i in range(count):
+            self.store.append(flat[offsets[i] : offsets[i + 1]])
+        costs = charge_per_set(
+            edges, sizes, n, cfg.adaptive_policy, fused=cfg.fused
+        )
+        if cfg.fused and flat.size:
+            self.counter += np.bincount(flat, minlength=n).astype(np.int64)
+            self.num_atomic_updates += int(flat.size)
+        self.per_set_costs.extend(costs.tolist())
+        self.per_set_edges.extend(edges.tolist())
+        self._attribute(costs, sizes.astype(np.float64))
+        self._check_budget()
+        if tel.enabled and count:
+            self._record_telemetry(
+                tel, sizes.tolist(), int(edges.sum()),
+                time.perf_counter() - t0,
+            )
 
     def _record_telemetry(
         self, tel, new_sizes: list[int], new_edges: int, elapsed: float

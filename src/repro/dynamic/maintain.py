@@ -50,6 +50,14 @@ recompute).  The insert extension path carries no such caveat.
 Everything is deterministic in ``(seed, update stream)``: sets are
 resampled in ascending index order and extension coins are drawn in batch
 order, so the same stream yields a byte-identical repaired store.
+
+``kernel="batched"``/``"scalar"`` switches full builds and the resample
+path to the counter-stream kernels (:mod:`repro.kernels`): per-set draws
+are keyed by ``(seed, resample-domain, epoch, set_index)`` instead of
+consuming the maintainer's sequential RNG, so a replayed update stream is
+byte-identical *without* carrying RNG state — and resampling N sets is one
+vectorised pass.  The insert-extension path keeps the sequential RNG (its
+coins are conditioned on batch order by design).
 """
 
 from __future__ import annotations
@@ -129,6 +137,8 @@ class IncrementalMaintainer:
         full_resample_threshold: float = 0.25,
         repair: str = "extend",
         build: bool = True,
+        kernel: str | None = None,
+        kernel_batch: int = 64,
     ):
         if num_sets < 1:
             raise ParameterError(f"num_sets must be >= 1, got {num_sets}")
@@ -149,6 +159,14 @@ class IncrementalMaintainer:
         self.seed = int(seed)
         self.full_resample_threshold = float(full_resample_threshold)
         self.repair = repair
+        from repro.kernels import check_kernel
+
+        self.kernel = check_kernel(kernel)
+        self.kernel_batch = int(kernel_batch)
+        if self.kernel_batch < 1:
+            raise ParameterError(
+                f"kernel_batch must be >= 1, got {kernel_batch}"
+            )
         self.rng = as_rng(self.seed)
         self.store = make_store("flat", num_vertices=delta.num_vertices, sort_sets=True)
         self.roots = np.empty(self.num_sets, dtype=np.int64)
@@ -162,16 +180,65 @@ class IncrementalMaintainer:
         verts, _cost = reverse_sample_with_cost(model, int(root), self.rng)
         return verts
 
+    def _kernel_draws(
+        self,
+        model,
+        epoch: int,
+        indices: np.ndarray,
+        roots: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw one RRR set per index via the counter-stream kernel.
+
+        Coins are keyed by ``(seed, resample-domain, epoch, index)`` so a
+        replayed update stream regenerates identical sets without any RNG
+        state; per-epoch keying keeps redraws of the same set index at
+        different epochs independent.  When ``roots`` is ``None`` fresh
+        roots are drawn from a ``(seed, root-domain, epoch)`` stream.
+        Returns ``(roots, flat_vertices, sizes)``.
+        """
+        from repro.kernels import KernelSampler
+        from repro.kernels.rng import (
+            DOMAIN_RESAMPLE,
+            DOMAIN_ROOT,
+            counter_uniforms,
+            derive_key,
+            derive_keys,
+        )
+
+        n = self.delta.num_vertices
+        if roots is None:
+            u = counter_uniforms(
+                derive_key(self.seed, DOMAIN_ROOT, epoch), indices
+            )
+            roots = np.clip((u * n).astype(np.int64), 0, n - 1)
+        keys = derive_keys(
+            derive_key(self.seed, DOMAIN_RESAMPLE, epoch), indices
+        )
+        sampler = KernelSampler(model, self.kernel, self.kernel_batch)
+        flat, sizes, _edges = sampler.sample_for_roots(roots, keys)
+        return roots, flat, sizes
+
     def _build_full(self) -> None:
         """(Re)build the whole sketch against the current delta epoch,
-        drawing fresh roots from the maintainer's RNG stream."""
+        drawing fresh roots from the maintainer's RNG stream (or, in
+        kernel mode, from the epoch-keyed counter stream)."""
         model = get_model(self.model_name, self.delta.compact())
         n = self.delta.num_vertices
         store = make_store("flat", num_vertices=n, sort_sets=True)
-        for i in range(self.num_sets):
-            root = int(self.rng.integers(0, n))
-            self.roots[i] = root
-            store.append(self._sample_set(model, root))
+        if self.kernel is not None:
+            indices = np.arange(self.num_sets, dtype=np.int64)
+            roots, flat, sizes = self._kernel_draws(
+                model, self.delta.epoch, indices
+            )
+            self.roots = roots
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            for i in range(self.num_sets):
+                store.append(flat[offsets[i] : offsets[i + 1]])
+        else:
+            for i in range(self.num_sets):
+                root = int(self.rng.integers(0, n))
+                self.roots[i] = root
+                store.append(self._sample_set(model, root))
         self.store = store.trim()
         self.counter = self.store.vertex_counts()
         self.epoch = self.delta.epoch
@@ -215,7 +282,7 @@ class IncrementalMaintainer:
                 invalidated_count = self.num_sets
             else:
                 model = get_model(self.model_name, self.delta.compact())
-                self._resample_sets(model, invalidated)
+                self._resample_sets(model, invalidated, commit.epoch)
                 if use_extension and commit.inserted.shape[0]:
                     extended_sets, added = self._extend_sets(
                         model, commit, exclude=invalidated
@@ -251,15 +318,26 @@ class IncrementalMaintainer:
         hits = [self.store.sets_containing(int(v)) for v in dsts]
         return np.unique(np.concatenate(hits))
 
-    def _resample_sets(self, model, indices: np.ndarray) -> None:
+    def _resample_sets(self, model, indices: np.ndarray, epoch: int) -> None:
         """Redraw the given sets from their original roots on the current
         graph, patching the fused counter in place."""
         if indices.size == 0:
             return
         old = np.concatenate([self.store.get(int(i)) for i in indices])
-        fresh = [
-            self._sample_set(model, int(self.roots[int(i)])) for i in indices
-        ]
+        if self.kernel is not None:
+            _roots, flat, sizes = self._kernel_draws(
+                model, epoch, indices, roots=self.roots[indices]
+            )
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            fresh = [
+                flat[offsets[j] : offsets[j + 1]]
+                for j in range(indices.size)
+            ]
+        else:
+            fresh = [
+                self._sample_set(model, int(self.roots[int(i)]))
+                for i in indices
+            ]
         self.store.replace_sets(indices, fresh)
         self.counter -= np.bincount(old, minlength=self.delta.num_vertices)
         self.counter += np.bincount(
@@ -376,17 +454,21 @@ class IncrementalMaintainer:
         """Fingerprint of this maintainer's *configuration* (not its state):
         base graph + model + sketch shape + seed + repair policy.  Two
         maintainers share a key iff replaying the same update stream yields
-        identical sketches."""
-        key = ":".join(
-            (
-                self.delta.base_fingerprint,
-                self.model_name,
-                str(self.num_sets),
-                str(self.seed),
-                f"{self.full_resample_threshold:.12g}",
-                self.repair,
-            )
-        )
+        identical sketches.  The kernel name joins the key only when set,
+        so checkpoints written before kernel mode existed keep their keys;
+        ``kernel_batch`` is excluded because kernel output is
+        batch-size-invariant."""
+        parts = [
+            self.delta.base_fingerprint,
+            self.model_name,
+            str(self.num_sets),
+            str(self.seed),
+            f"{self.full_resample_threshold:.12g}",
+            self.repair,
+        ]
+        if self.kernel is not None:
+            parts.append(f"kernel={self.kernel}")
+        key = ":".join(parts)
         return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
     def checkpoint_path(self, root: str | os.PathLike) -> Path:
@@ -409,6 +491,7 @@ class IncrementalMaintainer:
             "seed": self.seed,
             "full_resample_threshold": self.full_resample_threshold,
             "repair": self.repair,
+            "kernel": self.kernel,
             "roots": [int(r) for r in self.roots],
             "rng_state": self.rng.bit_generator.state,
         }
@@ -437,6 +520,8 @@ class IncrementalMaintainer:
         seed: int = 0,
         full_resample_threshold: float = 0.25,
         repair: str = "extend",
+        kernel: str | None = None,
+        kernel_batch: int = 64,
     ) -> "IncrementalMaintainer":
         """Restore a maintainer whose sketch matches ``delta``'s epoch.
 
@@ -455,6 +540,8 @@ class IncrementalMaintainer:
             full_resample_threshold=full_resample_threshold,
             repair=repair,
             build=False,
+            kernel=kernel,
+            kernel_batch=kernel_batch,
         )
         path = m.checkpoint_path(root)
         store, counter, meta = load_store(

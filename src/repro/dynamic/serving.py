@@ -53,6 +53,8 @@ class DynamicService:
         epsilon: float = 0.5,
         full_resample_threshold: float = 0.25,
         repair: str = "extend",
+        kernel: str | None = None,
+        kernel_batch: int = 64,
         engine: QueryEngine | None = None,
         config: EngineConfig | None = None,
     ):
@@ -79,6 +81,8 @@ class DynamicService:
                 seed=self.seed,
                 full_resample_threshold=full_resample_threshold,
                 repair=repair,
+                kernel=kernel,
+                kernel_batch=kernel_batch,
             )
         self.num_sets = self.maintainer.num_sets
         self._own_engine = engine is None

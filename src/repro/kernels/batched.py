@@ -1,0 +1,250 @@
+"""Batched multi-root reverse sampling: B RRR sets per vectorised pass.
+
+The per-root path pays numpy dispatch overhead per frontier *per set*; here
+one pass advances every active set one level.  The working state is a
+``(set_slot, vertex)`` **pair frontier** encoded as flat keys
+``slot * n + vertex``:
+
+- IC: all in-edges of all frontier pairs are gathered with one CSR row
+  gather, one fused coin array covers every edge of every active set, and
+  ``np.unique`` over pair keys deduplicates per set while producing exactly
+  the canonical (slot-ascending, vertex-ascending) order the scalar
+  reference consumes.
+- LT: all active walks advance in lock step — one uniform per walk per
+  level, a vectorised bisection over the per-row cumulative weights picks
+  each walk's in-neighbour.
+
+Visited tracking is a flat epoch-stamped array of ``batch_size * n`` cells
+reused across calls (memory is O(B·n); keep B modest on huge graphs).
+
+Per-set randomness comes from counter streams keyed by the *global* set
+index (:mod:`repro.kernels.rng`), and each set's counter advances by
+exactly the number of edges it examined at each level — the same schedule
+the scalar reference follows — so the produced bytes are independent of
+batch size, batch boundaries, worker count, and start method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel
+from repro.errors import ParameterError
+from repro.kernels.rng import counter_uniforms
+
+__all__ = ["BatchedSampler", "sample_batched"]
+
+
+class BatchedSampler:
+    """Reusable batched kernel bound to one diffusion model.
+
+    Holds the ``B * n`` epoch-stamp scratch so repeated calls (the sampler's
+    extend loop, a shard's streaming build) do not reallocate it.
+    """
+
+    def __init__(self, model: DiffusionModel, batch_size: int = 64):
+        if batch_size < 1:
+            raise ParameterError("batch_size must be >= 1")
+        kind = getattr(model, "name", "?")
+        if kind not in ("IC", "LT"):
+            raise ParameterError(f"kernel sampling supports IC/LT, not {kind!r}")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self._n = model.graph.num_vertices
+        self._stamp = np.zeros(0, dtype=np.int32)
+        self._epoch = 0
+        self.levels = 0  # vectorised passes executed (across calls)
+        self.collect_occupancy = False  # set by KernelSampler under telemetry
+        self.occupancy: list[float] = []  # active-slot fraction per pass
+
+    # ------------------------------------------------------------- plumbing
+    def _scratch(self, b: int) -> tuple[np.ndarray, int]:
+        need = b * self._n
+        if self._stamp.size < need:
+            self._stamp = np.zeros(need, dtype=np.int32)
+            self._epoch = 0
+        self._epoch += 1
+        return self._stamp, self._epoch
+
+    def sample(
+        self, roots: np.ndarray, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw one set per ``(root, key)`` pair, all in lock step.
+
+        Returns CSR-style ``(flat_vertices int32, sizes int64, edges int64)``
+        with set *i*'s vertices in its canonical discovery order.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.uint64)
+        if roots.size == 0:
+            z = np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=np.int32), z, z
+        out: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for lo in range(0, roots.size, self.batch_size):
+            hi = min(lo + self.batch_size, roots.size)
+            out.append(self._one_batch(roots[lo:hi], keys[lo:hi]))
+        if len(out) == 1:
+            return out[0]
+        return (
+            np.concatenate([o[0] for o in out]),
+            np.concatenate([o[1] for o in out]),
+            np.concatenate([o[2] for o in out]),
+        )
+
+    def _one_batch(self, roots, keys):
+        if self.model.name == "IC":
+            return self._ic_batch(roots, keys)
+        return self._lt_batch(roots, keys)
+
+    @staticmethod
+    def _split(pairs: np.ndarray, b: int, n: int):
+        """Flat level-major pair keys -> per-set CSR ``(flat, sizes)``."""
+        slots = pairs // n
+        order = np.argsort(slots, kind="stable")  # keeps per-set level order
+        flat = (pairs % n).astype(np.int32)[order]
+        sizes = np.bincount(slots, minlength=b)
+        return flat, sizes
+
+    # ------------------------------------------------------------------- IC
+    def _ic_batch(self, roots, keys):
+        rev = self.model.reverse_graph
+        n = self._n
+        b = roots.size
+        stamp, epoch = self._scratch(b)
+        slot_base = np.arange(b, dtype=np.int64) * n
+        level0 = slot_base + roots
+        stamp[level0] = epoch
+        pairs = [level0]
+        fslot = np.arange(b, dtype=np.int64)
+        fvert = roots
+        counters = np.zeros(b, dtype=np.uint64)
+        edges = np.zeros(b, dtype=np.int64)
+        indptr = rev.indptr
+        while fslot.size:
+            self.levels += 1
+            if self.collect_occupancy:
+                # fslot is sorted, so distinct runs count the active sets.
+                self.occupancy.append(
+                    (np.count_nonzero(np.diff(fslot)) + 1) / b
+                )
+            starts = indptr[fvert].astype(np.int64)
+            lengths = indptr[fvert + 1] - starts
+            total = int(lengths.sum())
+            if total == 0:
+                break
+            # One flat gather addresses every in-edge of every frontier pair.
+            row_of = np.repeat(np.arange(fvert.size), lengths)
+            within_row = np.arange(total, dtype=np.int64) - np.repeat(
+                np.concatenate(([0], np.cumsum(lengths[:-1]))), lengths
+            )
+            flat_idx = starts[row_of] + within_row
+            nbrs = rev.indices[flat_idx]
+            probs = rev.probs[flat_idx]
+            eslot = fslot[row_of]
+            # Per-edge draw counter: this set's running counter plus the
+            # edge's position within the set's slice of this level (eslot is
+            # sorted, so a cumsum gives each run's start).
+            counts = np.bincount(fslot, weights=lengths, minlength=b).astype(
+                np.int64
+            )
+            run_start = np.cumsum(counts) - counts
+            within = np.arange(total, dtype=np.int64) - run_start[eslot]
+            with np.errstate(over="ignore"):
+                base = counters[eslot] + within.astype(np.uint64)
+            u = counter_uniforms(keys[eslot], base)
+            with np.errstate(over="ignore"):
+                counters += counts.astype(np.uint64)
+            edges += counts
+            live = u < probs
+            pk = eslot[live] * n + nbrs[live].astype(np.int64)
+            pk = np.unique(pk)  # dedup per set; canonical slot/vertex order
+            fresh = pk[stamp[pk] != epoch]
+            if fresh.size == 0:
+                break
+            stamp[fresh] = epoch
+            pairs.append(fresh)
+            fslot, fvert = np.divmod(fresh, n)
+        flat, sizes = self._split(np.concatenate(pairs), b, n)
+        return flat, sizes, edges
+
+    # ------------------------------------------------------------------- LT
+    def _lt_batch(self, roots, keys):
+        model = self.model
+        rev = model.reverse_graph
+        indptr, indices, cum = rev.indptr, rev.indices, model._cum
+        n = self._n
+        b = roots.size
+        stamp, epoch = self._scratch(b)
+        slot_base = np.arange(b, dtype=np.int64) * n
+        level0 = slot_base + roots
+        stamp[level0] = epoch
+        pairs = [level0]
+        aslot = np.arange(b, dtype=np.int64)
+        avert = roots
+        counters = np.zeros(b, dtype=np.uint64)
+        while aslot.size:
+            self.levels += 1
+            if self.collect_occupancy:
+                self.occupancy.append(aslot.size / b)
+            lo = indptr[avert].astype(np.int64)
+            hi = indptr[avert + 1].astype(np.int64)
+            has = hi > lo  # walks at an in-degree-0 vertex stop, no draw
+            if not has.all():
+                aslot, lo, hi = aslot[has], lo[has], hi[has]
+            if aslot.size == 0:
+                break
+            r = counter_uniforms(keys[aslot], counters[aslot])
+            with np.errstate(over="ignore"):
+                counters[aslot] += np.uint64(1)
+            go = r < cum[hi - 1]  # beyond total weight: no in-edge selected
+            if not go.all():
+                aslot, lo, hi, r = aslot[go], lo[go], hi[go], r[go]
+            if aslot.size == 0:
+                break
+            idx = _vector_bisect_right(cum, lo, hi, r)
+            u = indices[idx].astype(np.int64)
+            pk = aslot * n + u
+            fresh = stamp[pk] != epoch  # revisit = live-edge cycle: stop
+            if not fresh.all():
+                aslot, u, pk = aslot[fresh], u[fresh], pk[fresh]
+            if aslot.size == 0:
+                break
+            stamp[pk] = epoch
+            pairs.append(pk)
+            avert = u
+        flat, sizes = self._split(np.concatenate(pairs), b, n)
+        return flat, sizes, sizes.copy()  # LT cost convention: path length
+
+
+def _vector_bisect_right(
+    cum: np.ndarray, lo: np.ndarray, hi: np.ndarray, r: np.ndarray
+) -> np.ndarray:
+    """Per-lane ``lo + searchsorted(cum[lo:hi], r, side="right")``.
+
+    Bisection over all lanes at once: finds the first index in ``[lo, hi)``
+    whose cumulative weight exceeds ``r``.  Callers guarantee
+    ``r < cum[hi - 1]``, so the answer exists in-range for every lane.
+    """
+    left = lo.copy()
+    right = hi.copy()
+    top = cum.size - 1
+    while True:
+        active = left < right
+        if not active.any():
+            return left
+        mid = np.minimum((left + right) >> 1, top)
+        le = cum[mid] <= r
+        step = active & le
+        left = np.where(step, mid + 1, left)
+        right = np.where(active & ~le, mid, right)
+
+
+def sample_batched(
+    model: DiffusionModel,
+    roots: np.ndarray,
+    keys: np.ndarray,
+    *,
+    batch_size: int = 64,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One-shot convenience wrapper around :class:`BatchedSampler`."""
+    return BatchedSampler(model, batch_size).sample(roots, keys)

@@ -1,0 +1,127 @@
+"""Counter-based per-set random streams for the sampling kernels.
+
+``numpy.random.Generator`` streams are *stateful*: the i-th draw depends on
+how many draws came before it, so any change to batching or work division
+changes every subsequent sample.  The kernels instead use a **counter-based**
+construction (the property that makes Philox/Threefry reproducible on GPUs):
+
+    u = uniform(key, counter)
+
+is a pure function of a 64-bit per-set ``key`` and a 64-bit draw ``counter``.
+A set's key is derived from ``(seed, set_index)``; its draws are consumed in
+a canonical traversal order.  Nothing depends on which batch, worker, or
+process evaluated the set, so output is byte-identical across all of them.
+
+The bijective mixer is splitmix64 (Steele et al., *Fast Splittable
+Pseudorandom Number Generators*) — two xor-shift-multiply rounds, which pass
+BigCrush when used as a stream generator and vectorise to a handful of
+uint64 numpy ops.  Floats use the standard 53-bit mantissa construction
+``(x >> 11) * 2**-53``, giving uniforms in ``[0, 1)``.
+
+All arithmetic is modulo 2**64 (numpy uint64 wraps silently); the explicit
+``errstate`` guards silence the scalar-overflow RuntimeWarnings some numpy
+versions emit for 0-d operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "coin_key",
+    "counter_uniforms",
+    "derive_key",
+    "derive_keys",
+    "root_key",
+    "roots_for_indices",
+]
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)  # splitmix64 stream increment
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_S1 = np.uint64(30)
+_S2 = np.uint64(27)
+_S3 = np.uint64(31)
+_SEED0 = np.uint64(0x243F6A8885A308D3)  # pi digits: arbitrary non-zero start
+_INV53 = np.float64(2.0**-53)
+_SH11 = np.uint64(11)
+
+# Domain tags keep the root stream, the coin stream, and the dynamic
+# layer's resample streams disjoint even for identical (seed, index) pairs.
+DOMAIN_ROOT = 0x01
+DOMAIN_COIN = 0x02
+DOMAIN_RESAMPLE = 0x03
+
+
+def _mix64(x: np.ndarray | np.uint64) -> np.ndarray | np.uint64:
+    """splitmix64 finalizer: a bijective avalanche mix on uint64."""
+    x = x ^ (x >> _S1)
+    x = x * _M1
+    x = x ^ (x >> _S2)
+    x = x * _M2
+    return x ^ (x >> _S3)
+
+
+def derive_key(*components: int) -> int:
+    """Fold integer components into one 64-bit stream key.
+
+    Order-sensitive and collision-resistant in practice: each component is
+    pre-mixed before being absorbed so ``derive_key(a, b) != derive_key(b, a)``
+    for almost all pairs.
+    """
+    with np.errstate(over="ignore"):
+        x = _SEED0
+        for part in components:
+            p = np.uint64(int(part) & 0xFFFFFFFFFFFFFFFF)
+            x = _mix64(x ^ _mix64(p + _GAMMA))
+        return int(x)
+
+
+def derive_keys(base_key: int, indices: np.ndarray) -> np.ndarray:
+    """Vectorised per-index keys: one independent stream per set index."""
+    idx = np.asarray(indices).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        return _mix64(np.uint64(base_key) ^ _mix64(idx + _GAMMA))
+
+
+def counter_uniforms(
+    keys: np.ndarray | int, counters: np.ndarray
+) -> np.ndarray:
+    """``uniform(key, counter)`` in ``[0, 1)``, elementwise over arrays.
+
+    ``keys`` may be a scalar (one stream, many counters) or an array aligned
+    with ``counters`` (one draw from each of many streams).
+    """
+    ctr = np.asarray(counters).astype(np.uint64)
+    if isinstance(keys, np.ndarray):
+        k = keys.astype(np.uint64)
+    else:
+        k = np.uint64(keys)
+    with np.errstate(over="ignore"):
+        x = _mix64((ctr * _GAMMA) ^ k)
+        return ((x >> _SH11).astype(np.float64)) * _INV53
+
+
+def root_key(seed: int) -> int:
+    """Key of the root stream for a sampling run."""
+    return derive_key(seed, DOMAIN_ROOT)
+
+
+def coin_key(seed: int) -> int:
+    """Base key the per-set coin streams are derived from."""
+    return derive_key(seed, DOMAIN_COIN)
+
+
+def roots_for_indices(
+    seed: int, indices: np.ndarray, num_vertices: int
+) -> np.ndarray:
+    """Deterministic uniform roots for global set indices.
+
+    ``floor(u * n)`` over the root stream: set *i* gets the same root no
+    matter which batch or worker asks for it.
+    """
+    u = counter_uniforms(root_key(seed), np.asarray(indices, dtype=np.int64))
+    roots = (u * num_vertices).astype(np.int64)
+    # floor(u * n) can only hit n through float rounding at u -> 1-ulp.
+    np.clip(roots, 0, num_vertices - 1, out=roots)
+    return roots

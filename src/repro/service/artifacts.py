@@ -60,9 +60,20 @@ def sketch_fingerprint(
     epsilon: float,
     seed: int,
     num_sets: int,
+    *,
+    kernel: str | None = None,
 ) -> str:
-    """Content key of one sketch: graph hash + model + epsilon + seed + size."""
+    """Content key of one sketch: graph hash + model + epsilon + seed + size.
+
+    ``kernel`` joins the key only when set: the counter-stream kernels
+    (:mod:`repro.kernels`) draw a different (equally valid) sketch than the
+    legacy per-root path for the same parameters, so the two must never
+    alias — while every fingerprint minted before kernels existed stays
+    byte-for-byte stable.
+    """
     key = f"{graph_fp}:{str(model).upper()}:{float(epsilon):.12g}:{int(seed)}:{int(num_sets)}"
+    if kernel is not None:
+        key += f":{kernel}"
     return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
 

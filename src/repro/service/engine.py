@@ -69,6 +69,12 @@ class EngineConfig:
     Note the sampled sets are deterministic in ``(seed, num_workers)``,
     so changing ``num_workers`` changes which (equally valid) sketch a
     fingerprint materialises to.
+
+    ``kernel="batched"``/``"scalar"`` switches cold sampling to the
+    counter-stream kernels (:mod:`repro.kernels`): the sketch becomes a
+    pure function of the seed alone — independent of ``num_workers`` —
+    and the kernel name joins the sketch fingerprint, so kernel-mode and
+    legacy sketches never alias in the cache or the artifact store.
     """
 
     cache_budget_bytes: int | None = 256 * 1024 * 1024
@@ -78,6 +84,8 @@ class EngineConfig:
     num_workers: int = 1
     dataset_scale: float = 1.0
     persist: bool = True  # write artifacts for newly sampled sketches
+    kernel: str | None = None
+    kernel_batch: int = 64
 
 
 @dataclass
@@ -419,7 +427,8 @@ class QueryEngine:
 
         num_sets = q0.theta_cap or self.config.default_theta
         fp = sketch_fingerprint(
-            graph_fp, q0.model, q0.epsilon, q0.seed, num_sets
+            graph_fp, q0.model, q0.epsilon, q0.seed, num_sets,
+            kernel=self.config.kernel,
         )
         with tel.span("service.batch", fingerprint=fp, size=len(live)):
             try:
@@ -513,6 +522,8 @@ class QueryEngine:
                 backend=self._backend,
                 retry=self.context.retry,
                 faults=self.context.faults,
+                kernel=self.config.kernel,
+                kernel_batch=self.config.kernel_batch,
             )
         except (ReproError, OSError) as exc:
             stale = self._stale_fallback(query)

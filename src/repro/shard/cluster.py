@@ -246,8 +246,10 @@ class ShardCluster:
                 scale=self.dataset_scale,
             )
         gfp = graph_fingerprint(graph)
+        kcfg = self._engine_config or EngineConfig()
         fp = sketch_fingerprint(
-            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
+            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets,
+            kernel=kcfg.kernel,
         )
         with tel.span(
             "shard.build", dataset=spec.dataset, num_sets=spec.num_sets,
@@ -257,6 +259,7 @@ class ShardCluster:
                 graph, spec.model, spec.num_sets,
                 num_workers=self.sampling_workers, seed=spec.seed,
                 backend=SerialBackend(),
+                kernel=kcfg.kernel, kernel_batch=kcfg.kernel_batch,
             )
             parts = self.plan.partition_store(full, fp).trim()
         return self._adopt(spec, fp, parts)

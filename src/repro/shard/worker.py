@@ -275,7 +275,8 @@ class ShardWorker:
         """(full-sketch fingerprint, this shard's sub-sketch fingerprint)."""
         _, gfp = self._resolve_graph(spec)
         fp = sketch_fingerprint(
-            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
+            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets,
+            kernel=self.engine.config.kernel,
         )
         return fp, shard_fingerprint(fp, self.shard_id, self.plan)
 
@@ -283,7 +284,8 @@ class ShardWorker:
         """(entry, warm, fp, shard_fp): cache → shm → artifact → cold stream."""
         graph, gfp = self._resolve_graph(spec)
         fp = sketch_fingerprint(
-            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets
+            gfp, spec.model, spec.epsilon, spec.seed, spec.num_sets,
+            kernel=self.engine.config.kernel,
         )
         sub_fp = shard_fingerprint(fp, self.shard_id, self.plan)
         entry = self.engine.cache.get(sub_fp)
@@ -358,7 +360,14 @@ class ShardWorker:
         The ``"balanced"`` strategy needs all set sizes up front and so
         cannot stream; it materialises the full sketch transiently (prefer
         ``repro shard build`` artifacts for that layout).
+
+        With an engine ``kernel`` configured the replay gets cheaper still:
+        counter streams are keyed by the global set index, so only the
+        *owned* indices are sampled at all — O(owned) work instead of a
+        full O(num_sets) pass — and the result still matches what a
+        single-node engine with the same kernel would draw.
         """
+        kernel = self.engine.config.kernel
         if self.plan.strategy == "balanced":
             from repro.core.parallel_sampling import parallel_generate
             from repro.runtime.backends import SerialBackend
@@ -367,6 +376,7 @@ class ShardWorker:
                 graph, spec.model, spec.num_sets,
                 num_workers=self.sampling_workers, seed=spec.seed,
                 backend=SerialBackend(),
+                kernel=kernel, kernel_batch=self.engine.config.kernel_batch,
             )
             mask = self.plan.owned_mask(
                 fingerprint, len(full), self.shard_id, sizes=full.sizes()
@@ -377,6 +387,24 @@ class ShardWorker:
             return store.trim()
 
         mask = self.plan.owned_mask(fingerprint, spec.num_sets, self.shard_id)
+        if kernel is not None:
+            from repro.kernels import KernelSampler
+            from repro.kernels.rng import coin_key, derive_keys, roots_for_indices
+
+            model = get_model(spec.model, graph)
+            owned = np.flatnonzero(mask).astype(np.int64)
+            roots = roots_for_indices(spec.seed, owned, graph.num_vertices)
+            keys = derive_keys(coin_key(spec.seed), owned)
+            flat, sizes, _ = KernelSampler(
+                model, kernel, self.engine.config.kernel_batch
+            ).sample_for_roots(roots, keys)
+            store = make_store(
+                "flat", num_vertices=graph.num_vertices, sort_sets=True
+            )
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            for i in range(owned.size):
+                store.append(flat[offsets[i] : offsets[i + 1]])
+            return store.trim()
         model = get_model(spec.model, graph)
         n = graph.num_vertices
         worker_seeds = [

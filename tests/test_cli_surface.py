@@ -168,3 +168,49 @@ class TestExitCodeDocs:
 
     def test_generic_exit_documented(self, documented):
         assert documented.get("ReproError") == 1
+
+
+class TestGeneratedCliReference:
+    """docs/cli.md is generated from the parser; these guards catch drift."""
+
+    def test_cli_md_matches_parser(self):
+        fresh = cli.render_cli_reference()
+        on_disk = (DOCS / "cli.md").read_text()
+        assert on_disk == fresh, (
+            "docs/cli.md has drifted from the argparse surface; "
+            "run: python tools/gen_cli_docs.py"
+        )
+
+    def test_reference_covers_every_verb(self):
+        fresh = cli.render_cli_reference()
+        for verb in cli.command_help():
+            assert f"## `repro {verb}`" in fresh, verb
+
+    def test_reference_covers_every_exit_code(self):
+        fresh = cli.render_cli_reference()
+        for cls in error_classes():
+            assert f"`{cls.__name__}`" in fresh, cls.__name__
+
+    def test_render_is_deterministic_across_terminal_widths(self):
+        import os
+
+        saved = os.environ.get("COLUMNS")
+        try:
+            os.environ["COLUMNS"] = "200"
+            wide = cli.render_cli_reference()
+            os.environ["COLUMNS"] = "40"
+            narrow = cli.render_cli_reference()
+        finally:
+            if saved is None:
+                os.environ.pop("COLUMNS", None)
+            else:
+                os.environ["COLUMNS"] = saved
+        assert wide == narrow
+
+    def test_kernel_flags_on_sampling_verbs(self):
+        for verb in ("run", "trace", "query", "serve", "shard", "gateway",
+                     "update"):
+            page = cli.render_cli_reference()
+            section = page.split(f"## `repro {verb}`")[1].split("## `repro")[0]
+            assert "--kernel" in section, verb
+            assert "--kernel-batch" in section, verb

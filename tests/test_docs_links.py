@@ -1,0 +1,104 @@
+"""Documentation link integrity: tools/check_docs_links.py over this repo.
+
+The docs index (docs/README.md) promises that every page is reachable from
+it and that every internal link and anchor resolves; this test is that
+promise, run on every test tier (the ``docs-check`` CI job runs the same
+checker standalone).  The unit tests below also pin the GitHub anchor-slug
+scheme the checker implements, so the generated ``#repro-<verb>`` anchors
+in docs/cli.md cannot drift from what the checker validates.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", ROOT / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestRepositoryDocs:
+    def test_no_broken_links_or_anchors(self):
+        problems = checker.check_links(ROOT)
+        assert problems == [], "\n".join(problems)
+
+    def test_scan_covers_index_and_top_level(self):
+        pages = {p.relative_to(ROOT).as_posix() for p in checker.pages_to_scan(ROOT)}
+        assert "README.md" in pages
+        assert "CONTRIBUTING.md" in pages
+        assert "docs/README.md" in pages
+        assert "docs/cli.md" in pages
+
+    def test_cli_reference_anchors_resolve(self):
+        """The generated verbs table points at real per-verb headings."""
+        anchors = checker.extract_anchors(ROOT / "docs" / "cli.md")
+        import repro.cli as cli
+
+        for verb in cli.command_help():
+            assert f"repro-{verb}" in anchors
+
+
+class TestSlugScheme:
+    def test_plain_heading(self):
+        assert checker.github_slug("Exit codes", {}) == "exit-codes"
+
+    def test_code_span_kept_punctuation_stripped(self):
+        assert checker.github_slug("`repro run`", {}) == "repro-run"
+
+    def test_duplicates_get_suffixes(self):
+        seen = {}
+        assert checker.github_slug("Setup", seen) == "setup"
+        assert checker.github_slug("Setup", seen) == "setup-1"
+        assert checker.github_slug("Setup", seen) == "setup-2"
+
+    def test_flags_and_dots(self):
+        assert (
+            checker.github_slug("Sampling kernel: `--kernel` and `--kernel-batch`", {})
+            == "sampling-kernel---kernel-and---kernel-batch"
+        )
+
+
+class TestCheckerCatchesBreakage:
+    def _write(self, root, rel, text):
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+    def test_missing_file_and_anchor(self, tmp_path):
+        self._write(tmp_path, "docs/README.md", "[a](gone.md)\n[b](real.md#nope)\n")
+        self._write(tmp_path, "docs/real.md", "# Real\n")
+        problems = checker.check_links(tmp_path)
+        assert any("broken link" in p and "gone.md" in p for p in problems)
+        assert any("broken anchor" in p and "#nope" in p for p in problems)
+
+    def test_orphan_docs_page_flagged(self, tmp_path):
+        self._write(tmp_path, "docs/README.md", "[a](linked.md)\n")
+        self._write(tmp_path, "docs/linked.md", "# L\n")
+        self._write(tmp_path, "docs/orphan.md", "# O\n")
+        problems = checker.check_links(tmp_path)
+        assert any("not linked from the index" in p and "orphan.md" in p for p in problems)
+
+    def test_clean_tree_and_fenced_links_ignored(self, tmp_path):
+        self._write(
+            tmp_path,
+            "docs/README.md",
+            "[a](page.md#a-heading)\n```\n[not a link](nowhere.md)\n```\n",
+        )
+        self._write(tmp_path, "docs/page.md", "# A heading\n")
+        assert checker.check_links(tmp_path) == []
+
+    def test_escaping_link_flagged(self, tmp_path):
+        self._write(tmp_path, "docs/README.md", "[up](../../etc/passwd)\n")
+        problems = checker.check_links(tmp_path)
+        assert any("escapes the repository" in p for p in problems)

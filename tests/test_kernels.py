@@ -1,0 +1,374 @@
+"""Equivalence suite for :mod:`repro.kernels`.
+
+The batched kernel's contract is *byte-identity*: the same ``(seed, set
+index)`` always yields the same RRR set, no matter which kernel ran, how
+sets were batched, how many workers drew them, or which process start
+method launched those workers.  These tests prove the contract on adversarial
+graph shapes (disconnected components, self-loops, zero-probability edges)
+and all the integration seams (RRRSampler, parallel_generate, run_imm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.efficientimm import EfficientIMM
+from repro.core.params import IMMParams
+from repro.core.parallel_sampling import parallel_generate
+from repro.core.sampling import RRRSampler, SamplingConfig
+from repro.diffusion.base import get_model
+from repro.errors import ParameterError
+from repro.graph.builder import GraphBuilder, from_edge_array
+from repro.graph.generators import erdos_renyi
+from repro.graph.weights import assign_ic_weights, assign_lt_weights
+from repro.kernels import (
+    KernelSampler,
+    check_kernel,
+    coin_key,
+    counter_uniforms,
+    derive_key,
+    derive_keys,
+    roots_for_indices,
+    sample_batched,
+    sample_scalar,
+)
+from repro.runtime.backends import SerialBackend
+
+BATCHES = (1, 7, 64)
+
+
+def random_graph(model="IC", n=300, m=1200, seed=7):
+    src, dst = erdos_renyi(n, m, seed=seed)
+    g = from_edge_array(src, dst, num_vertices=n)
+    if model == "IC":
+        return assign_ic_weights(g, scheme="uniform", seed=1, scale=0.4)
+    return assign_lt_weights(g, seed=1)
+
+
+def disconnected_graph(model="IC"):
+    """Two components plus isolated vertices 20..29."""
+    edges = [(i, (i + 1) % 10, 0.7) for i in range(10)]
+    edges += [(10 + i, 10 + ((i + 1) % 10), 0.3) for i in range(10)]
+    src, dst, p = map(np.asarray, zip(*edges))
+    g = from_edge_array(src, dst, p.astype(float), num_vertices=30)
+    return g if model == "IC" else assign_lt_weights(g, seed=2)
+
+
+def self_loop_graph(model="IC"):
+    """A ring where every vertex also carries a self-loop."""
+    b = GraphBuilder(relabel=False, drop_self_loops=False)
+    for i in range(12):
+        b.add_edge(i, (i + 1) % 12, 0.6)
+        b.add_edge(i, i, 0.9)
+    g = b.build(num_vertices=12)
+    return g if model == "IC" else assign_lt_weights(g, seed=3)
+
+
+def zero_prob_graph(model="IC"):
+    """A chain whose middle edge can never fire (p = 0)."""
+    edges = [(0, 1, 1.0), (1, 2, 0.0), (2, 3, 1.0), (3, 4, 0.5)]
+    src, dst, p = map(np.asarray, zip(*edges))
+    g = from_edge_array(src, dst, p.astype(float), num_vertices=5)
+    return g if model == "IC" else g  # LT normalises rows; keep IC-only
+
+
+GRAPH_MAKERS = {
+    "random": random_graph,
+    "disconnected": disconnected_graph,
+    "self_loop": self_loop_graph,
+}
+
+
+def draws_for(graph, seed=11, count=150):
+    indices = np.arange(count, dtype=np.int64)
+    roots = roots_for_indices(seed, indices, graph.num_vertices)
+    keys = derive_keys(coin_key(seed), indices)
+    return roots, keys
+
+
+def assert_same_draws(a, b):
+    fa, sa, ea = a
+    fb, sb, eb = b
+    np.testing.assert_array_equal(sa, sb)
+    np.testing.assert_array_equal(fa, fb)
+    np.testing.assert_array_equal(ea, eb)
+
+
+# ------------------------------------------------------------- RNG streams
+class TestCounterStreams:
+    def test_uniforms_deterministic_and_in_range(self):
+        key = derive_key(42, 1)
+        u1 = counter_uniforms(key, np.arange(1000))
+        u2 = counter_uniforms(key, np.arange(1000))
+        np.testing.assert_array_equal(u1, u2)
+        assert np.all((u1 >= 0.0) & (u1 < 1.0))
+        # A counter stream should not be visibly degenerate.
+        assert 0.4 < u1.mean() < 0.6
+
+    def test_keys_disjoint_across_domains_and_indices(self):
+        idx = np.arange(64)
+        a = derive_keys(coin_key(0), idx)
+        b = derive_keys(derive_key(0, 1), idx)
+        assert np.unique(a).size == idx.size
+        assert not np.intersect1d(a, b).size
+
+    def test_roots_uniform_and_in_range(self):
+        roots = roots_for_indices(3, np.arange(5000), 17)
+        assert roots.min() >= 0 and roots.max() < 17
+        assert np.unique(roots).size == 17
+
+    def test_seed_changes_everything(self):
+        g = random_graph()
+        model = get_model("IC", g)
+        a = sample_batched(model, *draws_for(g, seed=1))
+        b = sample_batched(model, *draws_for(g, seed=2))
+        assert not (
+            a[1].shape == b[1].shape
+            and np.array_equal(a[1], b[1])
+            and np.array_equal(a[0], b[0])
+        )
+
+
+# --------------------------------------------------- scalar <-> batched
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("graph_name", sorted(GRAPH_MAKERS))
+    @pytest.mark.parametrize("model_name", ("IC", "LT"))
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_batched_matches_scalar(self, graph_name, model_name, batch):
+        g = GRAPH_MAKERS[graph_name](model_name)
+        model = get_model(model_name, g)
+        roots, keys = draws_for(g)
+        ref = sample_scalar(get_model(model_name, g), roots, keys)
+        got = sample_batched(model, roots, keys, batch_size=batch)
+        assert_same_draws(ref, got)
+
+    def test_zero_prob_edge_never_crossed(self):
+        g = zero_prob_graph()
+        model = get_model("IC", g)
+        roots, keys = draws_for(g, count=400)
+        flat, sizes, _ = sample_batched(model, roots, keys)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        for i in range(sizes.size):
+            members = set(flat[offsets[i] : offsets[i + 1]].tolist())
+            # Reverse BFS from roots >= 2 must stop at vertex 2: the only
+            # in-edge of 2 is (1, 2) with p = 0.
+            if roots[i] >= 2:
+                assert not members & {0, 1}
+        assert_same_draws(
+            sample_scalar(get_model("IC", g), roots, keys),
+            sample_batched(get_model("IC", g), roots, keys, batch_size=7),
+        )
+
+    def test_self_loops_terminate_with_unique_members(self):
+        g = self_loop_graph()
+        model = get_model("IC", g)
+        roots, keys = draws_for(g, count=100)
+        flat, sizes, _ = sample_batched(model, roots, keys)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        for i in range(sizes.size):
+            members = flat[offsets[i] : offsets[i + 1]]
+            assert np.unique(members).size == members.size
+
+    def test_isolated_root_is_singleton(self):
+        g = disconnected_graph()
+        model = get_model("IC", g)
+        roots = np.array([25, 27], dtype=np.int64)  # isolated vertices
+        keys = derive_keys(coin_key(0), np.array([0, 1]))
+        flat, sizes, edges = sample_batched(model, roots, keys)
+        np.testing.assert_array_equal(sizes, [1, 1])
+        np.testing.assert_array_equal(flat, roots.astype(np.int32))
+        assert edges.sum() == 0
+
+    def test_chunk_split_invariance(self):
+        g = random_graph()
+        ks = KernelSampler(get_model("IC", g), "batched", 32)
+        whole = ks.sample_indexed(5, 0, 200)
+        a = ks.sample_indexed(5, 0, 90)
+        b = ks.sample_indexed(5, 90, 110)
+        assert_same_draws(
+            whole,
+            (
+                np.concatenate([a[0], b[0]]),
+                np.concatenate([a[1], b[1]]),
+                np.concatenate([a[2], b[2]]),
+            ),
+        )
+
+
+# ----------------------------------------------------- integration seams
+def kernel_store(graph, model_name, kernel, count=160, seed=9, batch=64):
+    cfg = SamplingConfig.efficientimm(
+        num_threads=1, kernel=kernel, kernel_batch=batch
+    )
+    sampler = RRRSampler(get_model(model_name, graph), cfg, seed=seed)
+    sampler.extend(count)
+    return sampler
+
+
+class TestSamplerIntegration:
+    @pytest.mark.parametrize("model_name", ("IC", "LT"))
+    def test_rrrsampler_kernels_agree(self, model_name):
+        g = random_graph(model_name)
+        fps = {
+            kernel_store(g, model_name, k, batch=b).store.fingerprint()
+            for k, b in (("batched", 64), ("batched", 7), ("scalar", 1))
+        }
+        assert len(fps) == 1
+
+    def test_incremental_extend_matches_one_shot(self):
+        g = random_graph()
+        a = kernel_store(g, "IC", "batched", count=150)
+        b = kernel_store(g, "IC", "batched", count=60)
+        b.extend(150)
+        assert a.store.fingerprint() == b.store.fingerprint()
+        assert a.per_set_costs == b.per_set_costs
+        np.testing.assert_array_equal(a.counter, b.counter)
+
+    def test_fused_counter_matches_store(self):
+        g = random_graph()
+        s = kernel_store(g, "IC", "batched")
+        np.testing.assert_array_equal(s.counter, s.store.vertex_counts())
+
+    def test_kernel_requires_integer_seed(self):
+        g = random_graph()
+        cfg = SamplingConfig.efficientimm(num_threads=1, kernel="batched")
+        with pytest.raises(ParameterError):
+            RRRSampler(get_model("IC", g), cfg, seed=np.random.default_rng(0))
+
+    @pytest.mark.parametrize("workers", (1, 2, 3))
+    def test_parallel_generate_worker_invariance(self, workers):
+        g = random_graph()
+        ref = parallel_generate(
+            g, "IC", 120, num_workers=1, seed=4,
+            backend=SerialBackend(), kernel="batched",
+        )
+        got = parallel_generate(
+            g, "IC", 120, num_workers=workers, seed=4,
+            backend=SerialBackend(), kernel="batched", kernel_batch=16,
+        )
+        assert ref.fingerprint() == got.fingerprint()
+
+    def test_parallel_generate_kernels_and_processes_agree(self):
+        g = random_graph()
+        serial = parallel_generate(
+            g, "IC", 90, num_workers=2, seed=4,
+            backend=SerialBackend(), kernel="scalar",
+        )
+        procs = parallel_generate(
+            g, "IC", 90, num_workers=2, seed=4, kernel="batched"
+        )
+        assert serial.fingerprint() == procs.fingerprint()
+
+    def test_final_selection_invariant_across_kernels(self):
+        g = random_graph()
+        results = [
+            EfficientIMM(g).run(
+                IMMParams(
+                    k=5, model="IC", theta_cap=400, seed=2,
+                    kernel=k, kernel_batch=b,
+                )
+            )
+            for k, b in (("batched", 64), ("batched", 5), ("scalar", 64))
+        ]
+        seeds = {tuple(r.seeds.tolist()) for r in results}
+        assert len(seeds) == 1
+
+    def test_legacy_path_untouched_by_kernel_flag(self):
+        g = random_graph()
+        a = parallel_generate(
+            g, "IC", 60, num_workers=2, seed=4, backend=SerialBackend()
+        )
+        b = parallel_generate(
+            g, "IC", 60, num_workers=2, seed=4, backend=SerialBackend()
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+
+# -------------------------------------------------- dynamic maintenance
+class TestMaintainerKernel:
+    def drive(self, kernel, batch):
+        from repro.dynamic import DeltaGraph, IncrementalMaintainer
+
+        d = DeltaGraph(random_graph(n=80, m=320))
+        m = IncrementalMaintainer(
+            d, num_sets=150, seed=3, kernel=kernel, kernel_batch=batch,
+            full_resample_threshold=1.0,
+        )
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            src, dst, _ = d.compact().edge_array()
+            picks = rng.choice(src.size, size=4, replace=False)
+            for j in picks:
+                u, v = int(src[j]), int(dst[j])
+                if d.has_edge(u, v):
+                    d.reweight(u, v, float(rng.random()))
+            m.apply(d.commit())
+        return m
+
+    def test_replay_byte_identical_across_kernels_and_batches(self):
+        fps = {
+            self.drive(k, b).store.fingerprint()
+            for k, b in (("batched", 64), ("batched", 7), ("scalar", 1))
+        }
+        assert len(fps) == 1
+
+    def test_checkpoint_key_stable_for_legacy_and_distinct_for_kernel(self):
+        from repro.dynamic import DeltaGraph, IncrementalMaintainer
+
+        d = DeltaGraph(random_graph(n=80, m=320))
+        legacy = IncrementalMaintainer(d, num_sets=10, seed=0, build=False)
+        batched = IncrementalMaintainer(
+            d, num_sets=10, seed=0, build=False, kernel="batched"
+        )
+        wide = IncrementalMaintainer(
+            d, num_sets=10, seed=0, build=False,
+            kernel="batched", kernel_batch=7,
+        )
+        assert legacy.checkpoint_key() != batched.checkpoint_key()
+        # batch size never changes bytes, so it must not change the key
+        assert batched.checkpoint_key() == wide.checkpoint_key()
+
+
+# ------------------------------------------------------------- telemetry
+class TestKernelTelemetry:
+    def test_kernels_metric_family(self):
+        g = random_graph()
+        with telemetry.session() as tel:
+            kernel_store(g, "IC", "batched", count=100)
+        snap = tel.snapshot()
+        assert snap["counters"]["kernels.sets"] == 100
+        assert snap["counters"]["kernels.edges"] > 0
+        assert snap["counters"]["kernels.calls.batched"] >= 1
+        assert snap["counters"]["kernels.levels"] >= 1
+        assert "kernels.batch_occupancy" in snap["histograms"]
+        assert snap["gauges"]["kernels.sets_per_sec"] > 0
+
+    def test_scalar_kernel_reports_too(self):
+        g = random_graph()
+        with telemetry.session() as tel:
+            kernel_store(g, "IC", "scalar", count=40)
+        snap = tel.snapshot()
+        assert snap["counters"]["kernels.calls.scalar"] >= 1
+        assert "kernels.levels" not in snap["counters"]
+
+
+# ------------------------------------------------------------- validation
+class TestValidation:
+    def test_check_kernel(self):
+        assert check_kernel(None) is None
+        assert check_kernel("batched") == "batched"
+        with pytest.raises(ParameterError):
+            check_kernel("simd")
+
+    def test_imm_params_validate_kernel(self):
+        with pytest.raises(ParameterError):
+            IMMParams(k=1, kernel="turbo")
+        with pytest.raises(ParameterError):
+            IMMParams(k=1, kernel="batched", kernel_batch=0)
+
+    def test_kernel_sampler_needs_explicit_kernel(self):
+        g = random_graph()
+        with pytest.raises(ParameterError):
+            KernelSampler(get_model("IC", g), None)  # type: ignore[arg-type]

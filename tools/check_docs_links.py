@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Check internal markdown links and anchors across the documentation.
+
+Scans ``README.md``, ``CONTRIBUTING.md``, and every page under ``docs/``
+and verifies that
+
+- every relative link target (``[text](../README.md)``, ``[text](cli.md)``)
+  resolves to a file inside the repository;
+- every anchor (``[text](cli.md#repro-run)``, ``[text](#exit-codes)``)
+  names a heading that actually exists in the target file, using GitHub's
+  heading-slug scheme (lowercase, punctuation stripped, spaces to
+  hyphens, ``-N`` suffixes for duplicates);
+- every page under ``docs/`` is linked from the documentation index
+  ``docs/README.md`` (reachability).
+
+External ``http(s)://`` and ``mailto:`` links are ignored — this checker
+is offline and deterministic.  Exit code 0 means clean; 1 means at least
+one broken link, with one ``file:line: message`` diagnostic per problem.
+
+Run directly (``python tools/check_docs_links.py``) or via
+``tests/test_docs_links.py`` / the ``docs-check`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Files scanned for outgoing links (docs/*.md are added dynamically).
+TOP_LEVEL_PAGES = ("README.md", "CONTRIBUTING.md")
+
+#: The index every docs/ page must be reachable from.
+DOCS_INDEX = "docs/README.md"
+
+# [text](target) — target captured up to the closing paren; images share
+# the syntax (![alt](src)) and are checked the same way.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading line, tracking duplicates."""
+    text = heading.strip()
+    # Inline markdown that GitHub strips from the anchor text: code spans
+    # keep their content, links keep their text, emphasis markers vanish.
+    text = re.sub(r"`([^`]*)`", r"\1", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("*", "").replace("_", " ")
+    slug = text.lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def extract_anchors(path: Path) -> set[str]:
+    """All heading anchors in a markdown file, GitHub-slugged."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    return anchors
+
+
+def extract_links(path: Path) -> list[tuple[int, str]]:
+    """All ``(line_number, target)`` markdown links in a file."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            links.append((lineno, m.group(1)))
+    return links
+
+
+def pages_to_scan(root: Path) -> list[Path]:
+    pages = [root / name for name in TOP_LEVEL_PAGES if (root / name).exists()]
+    pages.extend(sorted((root / "docs").glob("*.md")))
+    return pages
+
+
+def check_links(root: Path) -> list[str]:
+    """Return one diagnostic string per broken link/anchor/orphan page."""
+    problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors_of(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = extract_anchors(path)
+        return anchor_cache[path]
+
+    pages = pages_to_scan(root)
+    index_targets: set[Path] = set()
+
+    for page in pages:
+        rel = page.relative_to(root)
+        for lineno, raw in extract_links(page):
+            if _EXTERNAL_RE.match(raw):
+                continue  # http(s)/mailto — out of scope
+            target_part, _, fragment = raw.partition("#")
+            if target_part:
+                target = (page.parent / target_part).resolve()
+                try:
+                    target.relative_to(root)
+                except ValueError:
+                    problems.append(
+                        f"{rel}:{lineno}: link escapes the repository: {raw}"
+                    )
+                    continue
+                if not target.exists():
+                    problems.append(
+                        f"{rel}:{lineno}: broken link: {raw} "
+                        f"(no such file: {target.relative_to(root)})"
+                    )
+                    continue
+            else:
+                target = page  # bare '#anchor' — same file
+            if fragment:
+                if target.suffix != ".md" or target.is_dir():
+                    continue  # anchors into non-markdown are not checked
+                if fragment not in anchors_of(target):
+                    problems.append(
+                        f"{rel}:{lineno}: broken anchor: {raw} "
+                        f"(no heading '#{fragment}' in "
+                        f"{target.relative_to(root)})"
+                    )
+            if str(rel) == DOCS_INDEX and target.suffix == ".md":
+                index_targets.add(target)
+
+    # Reachability: every docs page must be linked from the index.
+    index = root / DOCS_INDEX
+    for page in sorted((root / "docs").glob("*.md")):
+        if page == index:
+            continue
+        if page.resolve() not in index_targets:
+            problems.append(
+                f"{DOCS_INDEX}: page not linked from the index: "
+                f"{page.relative_to(root)}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=ROOT,
+        help="repository root to scan (default: the checkout containing "
+        "this script)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    problems = check_links(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"docs link check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    pages = len(pages_to_scan(root))
+    print(f"docs link check: {pages} pages clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate docs/cli.md from the live argparse surface.
+
+Usage (from the repository root):
+
+    python tools/gen_cli_docs.py          # rewrite docs/cli.md
+    python tools/gen_cli_docs.py --check  # exit 1 if the page has drifted
+
+The page content comes from :func:`repro.cli.render_cli_reference`, so a
+verb or flag added to the parser shows up here with zero extra bookkeeping;
+``tests/test_cli_surface.py`` runs the equivalent of ``--check`` in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import render_cli_reference  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    target = ROOT / "docs" / "cli.md"
+    fresh = render_cli_reference()
+    if "--check" in argv:
+        current = target.read_text() if target.exists() else ""
+        if current != fresh:
+            print(
+                f"{target} is stale; run: python tools/gen_cli_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{target} is up to date")
+        return 0
+    target.write_text(fresh)
+    print(f"wrote {target} ({len(fresh.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
